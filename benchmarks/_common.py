@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark/reproduction harness.
+
+Each ``bench_*.py`` file regenerates one of the paper's tables or figures:
+it times the relevant implementation with pytest-benchmark, prints the
+reproduced rows, writes them under ``benchmarks/results/`` (the source data
+for EXPERIMENTS.md), and asserts the paper's qualitative shape.
+"""
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_report(name: str, lines: list[str]) -> None:
+    """Print a reproduction table and persist it for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    print(f"\n{text}")
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def fmt_row(cols, widths) -> str:
+    return "  ".join(str(c).rjust(w) for c, w in zip(cols, widths))

@@ -1,0 +1,174 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. **Bit pipelining** (Section 3.1): the pipelined tree runs in
+   ``m + 2 lg n`` cycles; a word-serial tree would pay ``2 lg n`` full
+   word-times (``2 m lg n`` bit cycles).
+2. **Direct segmented hardware** (Section 3 remark): one flag bit per
+   operand stream versus simulating segmented scans with two widened
+   unsegmented scans (Figure 16).
+3. **Scans vs strong memory primitives**: the scan-model connected
+   components against Shiloach–Vishkin on extended CRCW — the same
+   O(lg n) growth achieved from opposite ends of the primitive spectrum.
+4. **Random mate**: the measured fraction of trees removed per MST round
+   versus the paper's 1/4-in-expectation argument.
+"""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms import connected_components, minimum_spanning_tree
+from repro.baselines import shiloach_vishkin_components
+from repro.graph import from_edges, random_connected_graph, star_merge
+from repro.hardware import (
+    segmented_scan_cycles,
+    simulated_segmented_scan_cycles,
+    tree_scan_cycles,
+)
+
+from _common import fmt_row, write_report
+
+
+def test_ablation_bit_pipelining(benchmark):
+    benchmark(lambda: tree_scan_cycles(65536, 32))
+    lines = ["Ablation: bit-pipelined vs word-serial tree scan (bit cycles)",
+             fmt_row(["n", "pipelined", "word-serial", "speedup"],
+                     [8, 10, 12, 8])]
+    for n in (256, 4096, 65536):
+        lg = int(np.log2(n))
+        pipelined = tree_scan_cycles(n, 32)
+        word_serial = 2 * lg * 32
+        lines.append(fmt_row([n, pipelined, word_serial,
+                              f"{word_serial / pipelined:.1f}x"], [8, 10, 12, 8]))
+        assert pipelined < word_serial / 4
+    write_report("ablation_pipelining", lines)
+
+
+def test_ablation_segmented_hardware(benchmark):
+    benchmark(lambda: segmented_scan_cycles(65536, 32))
+    lines = ["Ablation: direct segmented circuit vs two-primitive simulation",
+             fmt_row(["n", "direct", "simulated", "ratio"], [8, 8, 10, 8])]
+    for n in (256, 4096, 65536):
+        d = segmented_scan_cycles(n, 32)
+        s = simulated_segmented_scan_cycles(n, 32)
+        lines.append(fmt_row([n, d, s, f"{s / d:.2f}x"], [8, 8, 10, 8]))
+        assert d < s < 3 * d
+    write_report("ablation_segmented_hw", lines)
+
+
+def test_ablation_scan_cc_vs_shiloach_vishkin(benchmark):
+    rng = np.random.default_rng(0)
+    edges_big, _ = random_connected_graph(rng, 1024, 2048)
+    benchmark(lambda: shiloach_vishkin_components(Machine("crcw"), 1024, edges_big))
+
+    lines = ["Ablation: connected components — scan model vs Shiloach-Vishkin "
+             "(extended CRCW)",
+             fmt_row(["n", "scan steps", "SV/CRCW steps"], [8, 12, 14])]
+    growth = {}
+    for n in (64, 256, 1024):
+        rng = np.random.default_rng(1)
+        edges, _ = random_connected_graph(rng, n, 2 * n)
+        ms = Machine("scan", seed=1)
+        connected_components(ms, n, edges)
+        mc = Machine("crcw")
+        shiloach_vishkin_components(mc, n, edges)
+        growth[n] = (ms.steps, mc.steps)
+        lines.append(fmt_row([n, ms.steps, mc.steps], [8, 12, 14]))
+    lines.append("both O(lg n); the scan version pays for maintaining the "
+                 "segmented representation, SV for the stronger memory model")
+    write_report("ablation_cc_sv", lines)
+    # both logarithmic: quadrupling n far from quadruples steps
+    assert growth[1024][0] < 2.5 * growth[256][0]
+    assert growth[1024][1] < 2.5 * growth[256][1]
+
+
+def test_ablation_treefix(benchmark):
+    """The paper's tree-operations remark ([7]): with the Euler-tour form,
+    per-vertex tree quantities cost O(lg n) scan-model steps total (build
+    included) and each additional +-query is a single scan."""
+    from repro.algorithms import build_rooted_tree
+
+    def run(n, model):
+        rng = np.random.default_rng(0)
+        parent = np.arange(n)
+        for v in range(1, n):
+            parent[v] = rng.integers(0, v)
+        m = Machine(model)
+        t = build_rooted_tree(m, parent)
+        build_steps = m.steps
+        with m.measure() as r:
+            t.depths()
+            t.subtree_sizes()
+            t.subtree_sums(np.ones(n, dtype=np.int64))
+        return build_steps, r.delta.steps
+
+    benchmark(lambda: run(1024, "scan"))
+    lines = ["Ablation: treefix (Euler tour) — build + three queries",
+             fmt_row(["n", "scan build", "scan queries",
+                      "erew build"], [8, 12, 14, 12])]
+    growth = {}
+    for n in (256, 1024, 4096):
+        sb, sq = run(n, "scan")
+        eb, _ = run(n, "erew")
+        growth[n] = (sb, sq, eb)
+        lines.append(fmt_row([n, sb, sq, eb], [8, 12, 14, 12]))
+    lines.append("query cost is flat (one scan each); the EREW build pays "
+                 "the lg-n factor on every scan inside the sort and ranking")
+    write_report("ablation_treefix", lines)
+    # queries: O(1) scans each => identical step cost at every size
+    assert growth[256][1] == growth[4096][1]
+    # builds grow gently (lg n), EREW strictly costlier
+    assert growth[4096][0] < 2 * growth[1024][0]
+    for n in growth:
+        assert growth[n][2] > growth[n][0]
+
+
+def test_ablation_random_mate_rate(benchmark):
+    """The random-mate analysis: >= ~1/4 of the trees merge per round in
+    expectation.  Measure the realized geometric decay."""
+    rng = np.random.default_rng(2)
+    n = 2048
+    edges, weights = random_connected_graph(rng, n, 2 * n)
+
+    def run():
+        m = Machine("scan", seed=5)
+        return minimum_spanning_tree(m, n, edges, weights)
+
+    res = benchmark(run)
+    # vertex counts per round via a fresh instrumented run
+    m = Machine("scan", seed=5)
+    g = from_edges(m, n, edges, weights=weights)
+    counts = [g.num_vertices]
+    # replicate the MST loop once, recording sizes
+    from repro.core import segmented
+    from repro.core.vector import Vector
+    rounds = 0
+    while g.num_slots > 0 and rounds < 100:
+        rounds += 1
+        nv = g.num_vertices
+        coin_parent = Vector(m, m.rng.integers(0, 2, size=nv).astype(bool))
+        w = g.slot_data["weight"]
+        eid = g.slot_data["edge_id"]
+        key = w * (2 * len(edges)) + eid
+        mn = segmented.seg_min_distribute(key, g.seg_flags)
+        candidate = key == mn
+        parent_slot = g.vertex_to_slots(coin_parent)
+        other_is_parent = parent_slot.permute(g.cross_pointers)
+        child_star = candidate & ~parent_slot & other_is_parent
+        has_star = g.slots_to_vertex(
+            segmented.seg_or_distribute(child_star, g.seg_flags))
+        merging_parent = coin_parent | ~has_star
+        if not child_star.data.any():
+            continue
+        star = child_star | child_star.permute(g.cross_pointers)
+        g = star_merge(g, star, merging_parent, validate=False).graph
+        counts.append(g.num_vertices)
+
+    shrink = [1 - b / a for a, b in zip(counts, counts[1:]) if a > 8]
+    mean_shrink = float(np.mean(shrink)) if shrink else 0.0
+    write_report("ablation_random_mate", [
+        "Ablation: random-mate merge rate per round (paper: 1/4 expected)",
+        f"tree counts per round: {counts}",
+        f"mean fraction merged per round: {mean_shrink:.3f}",
+        f"rounds used: {res.rounds}",
+    ])
+    assert mean_shrink > 0.2

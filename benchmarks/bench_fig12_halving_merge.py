@@ -1,0 +1,67 @@
+"""Figure 12: the halving merge, including the paper's exact example and
+the near-merge rotation repair, plus scaling of the recursion.
+"""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms import halving_merge, near_merge_fix
+from repro.baselines import serial_merge
+
+from _common import fmt_row, write_report
+
+
+def test_figure12_exact(benchmark):
+    A = [1, 7, 10, 13, 15, 20]
+    B = [3, 4, 9, 22, 23, 26]
+
+    def run():
+        m = Machine("scan")
+        merged, flags = halving_merge(m.vector(A), m.vector(B))
+        return merged.to_list(), flags.to_list(), m.steps
+
+    merged, flags, steps = benchmark(run)
+    assert merged == [1, 3, 4, 7, 9, 10, 13, 15, 20, 22, 23, 26]
+
+    m = Machine("scan")
+    near = m.vector([1, 7, 3, 4, 9, 22, 10, 13, 15, 20, 23, 26])
+    fixed = near_merge_fix(near)
+    write_report("figure12", [
+        "Figure 12: halving merge of A=[1 7 10 13 15 20], B=[3 4 9 22 23 26]",
+        f"  merged      = {merged}",
+        f"  merge flags = {['T' if f else 'F' for f in flags]}",
+        f"  near-merge  = {near.to_list()}",
+        f"  x-near-merge= {fixed.to_list()}",
+        f"  steps       = {steps}",
+    ])
+    assert fixed.to_list() == merged
+
+
+def test_halving_merge_scaling(benchmark):
+    rng = np.random.default_rng(0)
+    n = 1 << 14
+    a = np.sort(rng.integers(0, 10**6, n))
+    b = np.sort(rng.integers(0, 10**6, n))
+
+    def run():
+        m = Machine("scan")
+        merged, _ = halving_merge(m.vector(a), m.vector(b))
+        return merged, m.steps
+
+    merged, _ = benchmark(run)
+    assert np.array_equal(merged.data, serial_merge(a, b))
+
+    lines = ["halving merge: steps vs n (p = n: O(lg n) levels, O(1) each)",
+             fmt_row(["n", "steps"], [8, 8])]
+    steps = []
+    for nn in (1 << 8, 1 << 10, 1 << 12, 1 << 14):
+        aa = np.sort(rng.integers(0, 10**6, nn))
+        bb = np.sort(rng.integers(0, 10**6, nn))
+        m = Machine("scan")
+        halving_merge(m.vector(aa), m.vector(bb))
+        steps.append(m.steps)
+        lines.append(fmt_row([nn, m.steps], [8, 8]))
+    write_report("figure12_scaling", lines)
+    # steps ~ lg n with p = n: 64x the data is +6 levels on top of 8, so
+    # less than a 2x step increase (far below the 64x of an O(n) algorithm)
+    assert steps[-1] < 2.0 * steps[0]

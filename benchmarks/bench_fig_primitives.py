@@ -1,0 +1,115 @@
+"""Figures 1-4, 8 and Table 3: the primitive operations, exactly as the
+paper's worked examples show them, plus throughput and a coverage matrix
+of which algorithms exercise which scan uses (Table 3).
+"""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.core import ops, scans, segmented
+
+from _common import fmt_row, write_report
+
+
+def test_figure_examples_exact(benchmark):
+    """Every worked example from Figures 1-4 and 8, byte for byte."""
+    def run():
+        m = Machine("scan")
+        out = {}
+        # Figure 1
+        out["enumerate"] = ops.enumerate_(
+            m.flags([1, 0, 0, 1, 0, 1, 1, 0])).to_list()
+        out["copy"] = ops.copy_(m.vector([5, 1, 3, 4, 3, 9, 2, 6])).to_list()
+        out["+-distribute"] = scans.plus_distribute(
+            m.vector([1, 1, 2, 1, 1, 2, 1, 1])).to_list()
+        # +-scan example (Section 2.1)
+        out["+-scan"] = scans.plus_scan(
+            m.vector([2, 1, 2, 3, 5, 8, 13, 21])).to_list()
+        # Figure 3
+        a = m.vector([5, 7, 3, 1, 4, 2, 7, 2])
+        out["split"] = ops.split(a, m.flags([1, 1, 1, 1, 0, 0, 1, 0])).to_list()
+        # Figure 4
+        v = m.vector([5, 1, 3, 4, 3, 9, 2, 6])
+        sb = m.flags([1, 0, 1, 0, 0, 0, 1, 0])
+        out["seg-+-scan"] = segmented.seg_plus_scan(v, sb).to_list()
+        out["seg-max-scan"] = segmented.seg_max_scan(v, sb, identity=0).to_list()
+        # Figure 8
+        _, hp = ops.allocate(m, m.vector([4, 1, 3]))
+        out["hpointers"] = hp.to_list()
+        return out
+
+    out = benchmark(run)
+    expected = {
+        "enumerate": [0, 1, 1, 1, 2, 2, 3, 4],
+        "copy": [5] * 8,
+        "+-distribute": [10] * 8,
+        "+-scan": [0, 2, 3, 5, 8, 13, 21, 34],
+        "split": [4, 2, 2, 5, 7, 3, 1, 7],
+        "seg-+-scan": [0, 5, 0, 3, 7, 10, 0, 2],
+        "seg-max-scan": [0, 5, 0, 3, 4, 4, 0, 2],
+        "hpointers": [0, 4, 5],
+    }
+    lines = ["Figures 1-4, 8: worked examples reproduced exactly"]
+    for k, v in expected.items():
+        assert out[k] == v, k
+        lines.append(f"  {k:<14} = {v}")
+    write_report("figures_1_4_8", lines)
+
+
+def test_scan_primitive_throughput(benchmark):
+    """Wall-clock throughput of the simulated primitives (host speed, not
+    step counts): vectorized NumPy keeps a 1M-element scan sub-millisecond."""
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 10**6, 1 << 20)
+    m = Machine("scan")
+    v = m.vector(data)
+    benchmark(lambda: scans.plus_scan(v))
+
+
+def test_table3_primitive_uses(benchmark):
+    """Table 3's cross-reference: each algorithm exercises its advertised
+    scan uses, observed through the machine's per-kind charge profile."""
+    from repro.algorithms import (
+        draw_lines,
+        halving_merge,
+        minimum_spanning_tree,
+        quicksort,
+        split_radix_sort,
+    )
+    from repro.graph import random_connected_graph
+
+    rng = np.random.default_rng(0)
+
+    def profile(fn):
+        m = Machine("scan", seed=0)
+        fn(m)
+        return m.counter.by_kind
+
+    profiles = benchmark(lambda: {
+        "split_radix_sort": profile(
+            lambda m: split_radix_sort(m.vector(rng.integers(0, 256, 512)))),
+        "quicksort": profile(
+            lambda m: quicksort(m.vector(rng.permutation(512)))),
+        "mst": profile(lambda m: minimum_spanning_tree(
+            m, 64, *random_connected_graph(np.random.default_rng(1), 64, 64))),
+        "line_drawing": profile(
+            lambda m: draw_lines(m, [[0, 0, 50, 20], [5, 9, 40, 2]])),
+        "halving_merge": profile(lambda m: halving_merge(
+            m.vector(np.sort(rng.integers(0, 999, 256))),
+            m.vector(np.sort(rng.integers(0, 999, 256))))),
+    })
+
+    lines = ["Table 3: scans/permutes per algorithm (charge profile)",
+             fmt_row(["algorithm", "scan", "permute", "elementwise"],
+                     [18, 8, 8, 12])]
+    for name, prof in profiles.items():
+        lines.append(fmt_row([name, prof.get("scan", 0),
+                              prof.get("permute", 0),
+                              prof.get("elementwise", 0)], [18, 8, 8, 12]))
+    write_report("table3_uses", lines)
+
+    # every algorithm leans on scans (enumerating/copying/distributing) and
+    # permutes (splitting) — Table 3's columns
+    for name, prof in profiles.items():
+        assert prof.get("scan", 0) > 0, name
+        assert prof.get("permute", 0) > 0, name

@@ -1,0 +1,95 @@
+"""Throughput of the simulated primitives themselves (host wall time) and
+the primitive-cost parity checks that anchor every other benchmark.
+
+Not a paper table — this is the harness's own health check: the
+vectorized NumPy backing must keep million-element primitives cheap
+enough that the step-count benchmarks measure models, not Python.
+"""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.baselines import erew_plus_scan, erew_scan_steps
+from repro.core import ops, scans, segmented
+
+from _common import fmt_row, write_report
+
+N = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def big_vector():
+    rng = np.random.default_rng(0)
+    m = Machine("scan")
+    return m, m.vector(rng.integers(0, 10**6, N))
+
+
+def test_plus_scan_throughput(benchmark, big_vector):
+    m, v = big_vector
+    benchmark(lambda: scans.plus_scan(v))
+
+
+def test_max_scan_throughput(benchmark, big_vector):
+    m, v = big_vector
+    benchmark(lambda: scans.max_scan(v))
+
+
+def test_segmented_scan_throughput(benchmark, big_vector):
+    m, v = big_vector
+    sf_arr = np.zeros(N, dtype=bool)
+    sf_arr[:: 64] = True
+    sf_arr[0] = True
+    sf = m.flags(sf_arr)
+    benchmark(lambda: segmented.seg_plus_scan(v, sf))
+
+
+def test_split_throughput(benchmark, big_vector):
+    m, v = big_vector
+    flags = v.bit(0)
+    benchmark(lambda: ops.split(v, flags))
+
+
+def test_pack_throughput(benchmark, big_vector):
+    m, v = big_vector
+    flags = v.bit(0)
+    benchmark(lambda: ops.pack(v, flags))
+
+
+def test_primitive_step_parity(benchmark):
+    """One table of the exact step charges per primitive per model — the
+    numbers the cost-model document promises."""
+    def collect():
+        rows = []
+        for kind, runner in (
+            ("elementwise", lambda m: m.vector(range(1024)) + 1),
+            ("permute", lambda m: m.vector(range(1024)).reverse()),
+            ("scan", lambda m: scans.plus_scan(m.vector(range(1024)))),
+            ("broadcast", lambda m: ops.copy_(m.vector(range(1024)))),
+            ("reduce", lambda m: scans.plus_reduce(m.vector(range(1024)))),
+        ):
+            row = [kind]
+            for model in ("scan", "erew", "crew", "crcw"):
+                m = Machine(model)
+                runner(m)
+                row.append(m.steps)
+            rows.append(row)
+        return rows
+
+    rows = benchmark(collect)
+    lines = ["primitive step charges at n=1024 (p = n):",
+             fmt_row(["primitive", "scan", "erew", "crew", "crcw"],
+                     [12, 6, 6, 6, 6])]
+    for row in rows:
+        lines.append(fmt_row(row, [12, 6, 6, 6, 6]))
+    write_report("primitive_parity", lines)
+
+    table = {r[0]: r[1:] for r in rows}
+    assert table["scan"] == [1, 20, 20, 20]       # 2 lg 1024 = 20
+    assert table["elementwise"] == [1, 1, 1, 1]
+    assert table["broadcast"] == [1, 10, 1, 1]
+    assert table["reduce"] == [1, 10, 10, 1]
+
+    # the explicit EREW tree really pays what the model charges
+    m = Machine("erew")
+    erew_plus_scan(m.vector(range(1024)))
+    assert m.steps == erew_scan_steps(1024) == 20

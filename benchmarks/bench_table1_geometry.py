@@ -1,0 +1,84 @@
+"""Table 1, computational geometry rows: convex hull, k-d tree, closest
+pair, line of sight.
+
+Paper: hull O(lg n) / O(lg n) / O(lg n); k-d tree O(lg² n) EREW vs
+O(lg n) scan; closest pair O(lg² n) EREW vs O(lg n) scan; line of sight
+O(lg n) EREW vs **O(1)** scan.
+"""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms import (
+    build_kd_tree,
+    closest_pair,
+    convex_hull,
+    visibility,
+)
+
+from _common import fmt_row, write_report
+
+SIZES = (256, 1024, 4096)
+
+
+def _geometry_steps(fn, n, model, seed=0):
+    rng = np.random.default_rng(seed)
+    pts = rng.integers(0, 2**14, (n, 2))
+    m = Machine(model, seed=seed)
+    fn(m, pts)
+    return m.steps
+
+
+@pytest.mark.parametrize("name,fn", [
+    ("convex_hull", lambda m, pts: convex_hull(m, pts)),
+    ("kd_tree", lambda m, pts: build_kd_tree(m, pts)),
+    ("closest_pair", lambda m, pts: closest_pair(m, pts)),
+])
+def test_table1_geometry(benchmark, name, fn):
+    rng = np.random.default_rng(0)
+    pts = rng.integers(0, 2**14, (SIZES[-1], 2))
+    benchmark(lambda: fn(Machine("scan", seed=0), pts))
+
+    table = {model: [int(np.median([_geometry_steps(fn, n, model, s)
+                                    for s in range(2)])) for n in SIZES]
+             for model in ("erew", "scan")}
+    widths = [8, 10, 10, 10]
+    lines = [f"Table 1 (geometry: {name}): program steps",
+             fmt_row(["model"] + [f"n={n}" for n in SIZES], widths)]
+    for model, row in table.items():
+        lines.append(fmt_row([model] + row, widths))
+    ratio0 = table["erew"][0] / table["scan"][0]
+    ratio2 = table["erew"][-1] / table["scan"][-1]
+    lines.append(f"erew/scan ratio widens: {ratio0:.2f} -> {ratio2:.2f}")
+    write_report(f"table1_geometry_{name}", lines)
+
+    assert ratio2 > ratio0  # the lg n factor
+    assert table["scan"][-1] < 3 * table["scan"][0]  # polylog growth
+
+
+def test_table1_line_of_sight(benchmark):
+    """The O(1) row: scan-model steps do not depend on n at all."""
+    def run_once(n, model):
+        m = Machine(model)
+        alt = m.vector(np.abs(np.sin(np.arange(n))) * 50, dtype=float)
+        sf_arr = np.zeros(n, dtype=bool)
+        sf_arr[:: max(n // 32, 1)] = True
+        sf_arr[0] = True
+        sf = m.flags(sf_arr)
+        dist = m.vector(np.arange(1, n + 1, dtype=float), dtype=float)
+        visibility(alt, sf, dist, 10.0)
+        return m.steps
+
+    benchmark(lambda: run_once(SIZES[-1], "scan"))
+
+    lines = ["Table 1 (line of sight): program steps",
+             fmt_row(["model"] + [f"n={n}" for n in SIZES], [8, 10, 10, 10])]
+    table = {}
+    for model in ("erew", "scan"):
+        table[model] = [run_once(n, model) for n in SIZES]
+        lines.append(fmt_row([model] + table[model], [8, 10, 10, 10]))
+    write_report("table1_line_of_sight", lines)
+
+    # scan model: constant; EREW: grows with lg n
+    assert table["scan"][0] == table["scan"][1] == table["scan"][2]
+    assert table["erew"][-1] > table["erew"][0]

@@ -1,0 +1,117 @@
+"""Table 1, graph rows: MST / connected components / maximal independent
+set step complexity on EREW vs CRCW vs scan machines.
+
+Paper: MST and CC are O(lg² n) EREW, O(lg n) CRCW (extended), O(lg n)
+scan; MIS is O(lg² n) on both P-RAMs and O(lg n) scan.
+"""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms import (
+    biconnected_components,
+    connected_components,
+    maximal_independent_set,
+    minimum_spanning_tree,
+)
+from repro.graph import random_connected_graph
+
+from _common import fmt_row, write_report
+
+SIZES = (64, 256, 1024)
+MODELS = ("erew", "crcw", "scan")
+
+
+def _steps(algorithm, n, model, seed=0):
+    rng = np.random.default_rng(seed)
+    edges, weights = random_connected_graph(rng, n, 2 * n)
+    m = Machine(model, seed=seed)
+    algorithm(m, n, edges, weights)
+    return m.steps
+
+
+def _mst(m, n, e, w):
+    return minimum_spanning_tree(m, n, e, w)
+
+
+def _cc(m, n, e, w):
+    return connected_components(m, n, e)
+
+
+def _mis(m, n, e, w):
+    return maximal_independent_set(m, n, e)
+
+
+def _bcc(m, n, e, w):
+    return biconnected_components(m, n, e)
+
+
+ALGOS = {"mst": _mst, "connected_components": _cc,
+         "maximal_independent_set": _mis,
+         "biconnected_components": _bcc}
+
+
+@pytest.mark.parametrize("name", list(ALGOS))
+def test_table1_graph_rows(benchmark, name):
+    algo = ALGOS[name]
+    # wall-time benchmark of the scan-model run at the largest size
+    rng = np.random.default_rng(1)
+    edges, weights = random_connected_graph(rng, SIZES[-1], 2 * SIZES[-1])
+
+    def run():
+        return algo(Machine("scan", seed=1), SIZES[-1], edges, weights)
+
+    benchmark(run)
+
+    # step-complexity reproduction across models and sizes
+    table = {model: [int(np.median([_steps(algo, n, model, s) for s in range(3)]))
+                     for n in SIZES] for model in MODELS}
+    widths = [8] + [10] * len(SIZES)
+    lines = [f"Table 1 ({name}): program steps",
+             fmt_row(["model"] + [f"n={n}" for n in SIZES], widths)]
+    for model in MODELS:
+        lines.append(fmt_row([model] + table[model], widths))
+    ratio_small = table["erew"][0] / table["scan"][0]
+    ratio_big = table["erew"][-1] / table["scan"][-1]
+    lines.append(f"erew/scan ratio: {ratio_small:.2f} (n={SIZES[0]}) -> "
+                 f"{ratio_big:.2f} (n={SIZES[-1]})  [paper: O(lg n) factor]")
+    write_report(f"table1_{name}", lines)
+
+    # shape: scan <= crcw <= erew at every size, and the gap widens
+    for i in range(len(SIZES)):
+        assert table["scan"][i] <= table["crcw"][i] <= table["erew"][i]
+    assert ratio_big > ratio_small
+    # scan-model growth is logarithmic-ish: 4x vertices < 2.5x steps
+    assert table["scan"][-1] < 2.5 * table["scan"][-2]
+
+
+def test_table1_max_flow(benchmark):
+    """Table 1's maximum flow row: O(n² lg n) EREW vs O(n²) scan — each
+    push-relabel pulse is O(1) scan-model steps vs O(lg n) on EREW."""
+    from repro.algorithms import max_flow
+
+    rng = np.random.default_rng(0)
+    n = 48
+    edges, _ = random_connected_graph(rng, n, 3 * n)
+    caps = rng.integers(1, 20, len(edges))
+
+    def run():
+        m = Machine("scan", seed=0)
+        res = max_flow(m, n, edges, caps, 0, n - 1)
+        return m, res
+
+    m_scan, res = benchmark(run)
+    me = Machine("erew", seed=0)
+    res_e = max_flow(me, n, edges, caps, 0, n - 1)
+    assert res.value == res_e.value
+    lines = [
+        f"Table 1 (maximum flow, n={n}, m={len(edges)}):",
+        f"  flow value {res.value} in {res.pulses} pulses",
+        f"  scan model: {m_scan.steps} steps "
+        f"({m_scan.steps / res.pulses:.1f} per pulse)",
+        f"  erew:       {me.steps} steps "
+        f"({me.steps / res_e.pulses:.1f} per pulse)",
+        "  per-pulse ratio is the lg-n factor of Table 1",
+    ]
+    write_report("table1_max_flow", lines)
+    assert me.steps > 2 * m_scan.steps

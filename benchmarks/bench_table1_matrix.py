@@ -1,0 +1,86 @@
+"""Table 1, matrix rows: matrix-matrix O(n), vector-matrix O(1), linear
+system solver with pivoting O(n) — versus the EREW lg-n surcharge.
+"""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms import mat_mul, mat_vec, solve
+
+from _common import fmt_row, write_report
+
+SIZES = (8, 16, 32)
+
+
+def test_table1_mat_vec(benchmark):
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((SIZES[-1], SIZES[-1]))
+    x = rng.standard_normal(SIZES[-1])
+    benchmark(lambda: mat_vec(Machine("scan"), a, x))
+
+    lines = ["Table 1 (vector x matrix): program steps",
+             fmt_row(["model"] + [f"n={n}" for n in SIZES], [8, 8, 8, 8])]
+    table = {}
+    for model in ("erew", "scan"):
+        row = []
+        for n in SIZES:
+            m = Machine(model)
+            mat_vec(m, rng.standard_normal((n, n)), rng.standard_normal(n))
+            row.append(m.steps)
+        table[model] = row
+        lines.append(fmt_row([model] + row, [8, 8, 8, 8]))
+    write_report("table1_mat_vec", lines)
+    # scan model: O(1) — flat in n.  EREW: grows (lg n broadcasts).
+    assert table["scan"][0] == table["scan"][1] == table["scan"][2]
+    assert table["erew"][-1] > table["erew"][0]
+
+
+def test_table1_mat_mul(benchmark):
+    rng = np.random.default_rng(1)
+    a = rng.standard_normal((SIZES[-1], SIZES[-1]))
+    b = rng.standard_normal((SIZES[-1], SIZES[-1]))
+    benchmark(lambda: mat_mul(Machine("scan"), a, b))
+
+    lines = ["Table 1 (matrix x matrix): program steps",
+             fmt_row(["model"] + [f"n={n}" for n in SIZES], [8, 8, 8, 8])]
+    table = {}
+    for model in ("erew", "scan"):
+        row = []
+        for n in SIZES:
+            m = Machine(model)
+            mat_mul(m, rng.standard_normal((n, n)), rng.standard_normal((n, n)))
+            row.append(m.steps)
+        table[model] = row
+        lines.append(fmt_row([model] + row, [8, 8, 8, 8]))
+    write_report("table1_mat_mul", lines)
+    # O(n): doubling n roughly doubles scan-model steps
+    r1 = table["scan"][1] / table["scan"][0]
+    r2 = table["scan"][2] / table["scan"][1]
+    assert 1.6 < r1 < 2.4 and 1.6 < r2 < 2.4
+    # EREW grows superlinearly (n lg n)
+    assert table["erew"][2] / table["erew"][1] > r2
+
+
+def test_table1_solver(benchmark):
+    rng = np.random.default_rng(2)
+    n_big = SIZES[-1]
+    a = rng.standard_normal((n_big, n_big)) + n_big * np.eye(n_big)
+    b = rng.standard_normal(n_big)
+    benchmark(lambda: solve(Machine("scan"), a, b))
+
+    lines = ["Table 1 (linear solver, partial pivoting): program steps",
+             fmt_row(["model"] + [f"n={n}" for n in SIZES], [8, 8, 8, 8])]
+    table = {}
+    for model in ("erew", "scan"):
+        row = []
+        for n in SIZES:
+            m = Machine(model)
+            aa = rng.standard_normal((n, n)) + n * np.eye(n)
+            solve(m, aa, rng.standard_normal(n))
+            row.append(m.steps)
+        table[model] = row
+        lines.append(fmt_row([model] + row, [8, 8, 8, 8]))
+    write_report("table1_solver", lines)
+    r = table["scan"][2] / table["scan"][1]
+    assert 1.6 < r < 2.4  # O(n)
+    assert table["erew"][2] > table["scan"][2]  # the lg n surcharge

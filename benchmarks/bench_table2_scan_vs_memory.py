@@ -1,0 +1,92 @@
+"""Table 2: a scan operation versus a parallel memory reference, in theory
+(circuit forms) and 'in practice' (our logic-level simulators standing in
+for the CM-2).
+
+Paper's numbers at 64K processors: memory reference 600 bit cycles / 30%
+of the hardware; scan 550 bit cycles / 0% extra hardware.  The shape to
+reproduce: scans are at least as fast and far cheaper.
+
+Also reproduces the Section 3.3 example system (4096 processors: 5 us
+scans at a 100 ns clock, 0.5 us at 10 ns).
+"""
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    HypercubeRouter,
+    TreeScanCircuit,
+    PLUS,
+    example_system,
+    scan_vs_memory,
+    tree_scan_cycles,
+)
+
+from _common import fmt_row, write_report
+
+
+def test_table2_simulated_cycles(benchmark):
+    """Cycle-by-cycle comparison at a simulable size, plus closed forms at
+    CM-2 scale."""
+    n_sim, width = 256, 16
+    rng = np.random.default_rng(0)
+    circuit = TreeScanCircuit(n_sim, width, PLUS)
+    vals = rng.integers(0, 2**8, n_sim)
+
+    _, scan_cycles = benchmark(lambda: circuit.scan(vals))
+
+    router = HypercubeRouter(n_sim, width)
+    mem_cycles = router.random_permutation_cycles(np.random.default_rng(1))
+
+    big = scan_vs_memory(65536, 32)
+    lines = [
+        "Table 2: memory reference vs scan operation",
+        "",
+        f"simulated at n={n_sim}, {width}-bit operands:",
+        fmt_row(["", "memory ref", "scan"], [24, 12, 8]),
+        fmt_row(["bit cycles", mem_cycles, scan_cycles], [24, 12, 8]),
+        "",
+        "closed forms at n=65536, 32-bit (CM-2 scale; paper: 600 vs 550):",
+        fmt_row(["bit cycles (wormhole)",
+                 int(big['memory_reference']['bit_cycles_wormhole']),
+                 int(big['scan_operation']['bit_cycles'])], [24, 12, 8]),
+        fmt_row(["circuit size",
+                 int(big['memory_reference']['circuit_size']),
+                 int(big['scan_operation']['circuit_size'])], [24, 12, 8]),
+        fmt_row(["VLSI area",
+                 int(big['memory_reference']['vlsi_area']),
+                 int(big['scan_operation']['vlsi_area'])], [24, 12, 8]),
+        f"scan hardware as a fraction of the router's: "
+        f"{big['scan_operation']['hardware_fraction_of_router']:.3%} "
+        f"(paper: <1% of machine cost vs 30-50% for the network)",
+    ]
+    write_report("table2", lines)
+
+    assert scan_cycles < mem_cycles
+    assert (big["scan_operation"]["bit_cycles"]
+            <= big["memory_reference"]["bit_cycles_wormhole"])
+    assert big["scan_operation"]["hardware_fraction_of_router"] < 0.10
+
+
+def test_section33_example_system(benchmark):
+    es = benchmark(example_system)
+    lines = [
+        "Section 3.3 example system (4096 processors, 64 per board):",
+        f"  board chip: {es.per_board_chip_state_machines} sum state machines, "
+        f"{es.per_board_chip_shift_registers} shift registers (paper: 126 / 63)",
+        f"  32-bit scan: {es.scan_cycles_32bit} cycles",
+        f"  at 100 ns clock: {es.scan_time_at_100ns * 1e6:.2f} us (paper: ~5 us)",
+        f"  at 10 ns clock:  {es.scan_time_at_10ns * 1e6:.2f} us (paper: ~0.5 us)",
+    ]
+    write_report("table2_example_system", lines)
+    assert es.per_board_chip_state_machines == 126
+    assert es.per_board_chip_shift_registers == 63
+    assert 4e-6 < es.scan_time_at_100ns < 6e-6
+
+
+def test_scan_cycles_scale_logarithmically(benchmark):
+    benchmark(lambda: tree_scan_cycles(65536, 32))
+    lines = ["scan circuit cycles, 32-bit operands:"]
+    for n in (256, 4096, 65536, 1 << 20):
+        lines.append(f"  n={n:>8}: {tree_scan_cycles(n, 32)} cycles")
+    write_report("table2_scan_scaling", lines)
+    assert tree_scan_cycles(1 << 20, 32) - tree_scan_cycles(256, 32) == 2 * 12

@@ -1,0 +1,120 @@
+"""Table 5: processor-step complexity with p = n versus p = n / lg n for
+the halving merge, list ranking, and tree contraction.
+
+Paper: all three drop from O(n lg n) processor-steps to O(n) when each of
+n/lg n processors simulates lg n elements (Figure 10's long vectors,
+Figure 11's load balancing).
+"""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms import (
+    halving_merge,
+    list_rank,
+    list_rank_sampled,
+    tree_contract,
+)
+from repro.algorithms.tree_contraction import ExpressionTree
+
+from _common import fmt_row, write_report
+
+
+def _report(name, rows, benchmark_result=None):
+    lines = [f"Table 5 ({name}): processor-step complexity",
+             fmt_row(["processors", "steps", "work = p x steps"], [12, 10, 18])]
+    for p, steps, work in rows:
+        lines.append(fmt_row([p, steps, work], [12, 10, 18]))
+    ratio = rows[0][2] / rows[-1][2]
+    lines.append(f"work reduction p=n -> p=n/lg n: {ratio:.2f}x "
+                 "(paper: an O(lg n) factor)")
+    write_report(f"table5_{name}", lines)
+    return ratio
+
+
+def test_table5_halving_merge(benchmark):
+    n = 16384
+    lg = 14
+    rng = np.random.default_rng(0)
+    a = np.sort(rng.integers(0, 10**6, n))
+    b = np.sort(rng.integers(0, 10**6, n))
+
+    def run(p):
+        m = Machine("scan", num_processors=p)
+        halving_merge(m.vector(a), m.vector(b))
+        return m
+
+    benchmark(lambda: run(None))
+    rows = []
+    for p in (2 * n, 2 * n // lg):
+        m = run(p)
+        rows.append((p, m.steps, p * m.steps))
+    ratio = _report("halving_merge", rows)
+    assert ratio > 3.0  # an lg-n-ish factor
+
+
+def test_table5_list_ranking(benchmark):
+    # splicing beats jumping by Θ(lg n / c) with c ≈ 8 primitives per
+    # spliced element, so the gap needs a large n to show clearly
+    n = 1 << 19
+    lg = 19
+    nxt = np.append(np.arange(1, n), -1)
+
+    def jump():
+        m = Machine("scan", seed=0)
+        list_rank(m.vector(nxt))
+        return m
+
+    benchmark(jump)
+    m_full = jump()
+    p = n // lg
+    m_few = Machine("scan", num_processors=p, seed=0)
+    list_rank_sampled(m_few.vector(nxt))
+    rows = [(n, m_full.steps, n * m_full.steps),
+            (p, m_few.steps, p * m_few.steps)]
+    ratio = _report("list_ranking", rows)
+    assert ratio > 1.2  # splicing is work-efficient; the gap grows with n
+
+
+def test_table5_tree_contraction(benchmark):
+    rng = np.random.default_rng(1)
+    tree = ExpressionTree.random(rng, 8192)
+    n = tree.n
+
+    def run(p, seed=1):
+        m = Machine("scan", num_processors=p, seed=seed)
+        val, _ = tree_contract(m, tree)
+        assert val == tree.eval_serial()
+        return m
+
+    benchmark(lambda: run(None))
+    m_full = run(None)
+    p = n // 13
+    m_few = run(p)
+    rows = [(n, m_full.steps, n * m_full.steps),
+            (p, m_few.steps, p * m_few.steps)]
+    ratio = _report("tree_contraction", rows)
+    assert ratio > 3.0
+
+
+def test_figure10_long_vector_costs(benchmark):
+    """Figure 10: a scan over a long vector costs ceil(n/p) serial work per
+    block plus one cross-processor scan — measured exactly."""
+    from repro.core import scans
+
+    n = 1 << 16
+
+    def run(p):
+        m = Machine("scan", num_processors=p)
+        scans.plus_scan(m.vector(np.arange(n)))
+        return m.steps
+
+    benchmark(lambda: run(64))
+    lines = ["Figure 10: +-scan steps over 65536 elements",
+             fmt_row(["p", "steps"], [8, 8])]
+    for p in (1 << 16, 4096, 256, 64):
+        steps = run(p)
+        lines.append(fmt_row([p, steps], [8, 8]))
+        expect = 1 if p >= n else 2 * (n // p) + 1
+        assert steps == expect
+    write_report("figure10_long_vectors", lines)

@@ -1,0 +1,58 @@
+"""Graphics on the scan model: line drawing (Figure 9) and line of sight.
+
+Reproduces the paper's Figure 9 — three lines rasterized by allocating one
+processor per pixel — as ASCII art, then runs the O(1)-step line-of-sight
+computation over a synthetic terrain.
+
+Run:  python examples/graphics_pipeline.py
+"""
+import numpy as np
+
+from repro import Machine
+from repro.algorithms import draw_lines, line_of_sight_grid, render
+
+
+def ascii_grid(grid, on="#", off="."):
+    return "\n".join("".join(on if c else off for c in row) for row in grid[::-1])
+
+
+def main() -> None:
+    # --- Figure 9: (11,2)-(23,14), (2,13)-(13,8), (16,4)-(31,4) ---------- #
+    m = Machine("scan", allow_concurrent_write=True)
+    endpoints = [[11, 2, 23, 14], [2, 13, 13, 8], [16, 4, 31, 4]]
+    with m.measure() as r:
+        drawing = draw_lines(m, endpoints)
+    print("Figure 9 — three lines, one processor per pixel")
+    print(f"pixels per line: {drawing.counts.to_list()} "
+          f"(computed in {r.delta.steps} program steps, O(1))\n")
+    print(ascii_grid(render(drawing, 32, 16)))
+
+    # a big batch costs the same number of steps
+    rng = np.random.default_rng(0)
+    many = rng.integers(0, 200, (500, 4))
+    m2 = Machine("scan", allow_concurrent_write=True)
+    with m2.measure() as r2:
+        d2 = draw_lines(m2, many)
+    print(f"\n500 lines / {len(d2.x)} pixels: {r2.delta.steps} steps "
+          f"(same as 3 lines: {r.delta.steps})\n")
+
+    # --- line of sight ---------------------------------------------------- #
+    print("Line of sight — a ridge and a tower on rolling terrain")
+    h = w = 33
+    yy, xx = np.mgrid[0:h, 0:w]
+    terrain = 3.0 * np.sin(xx / 4.0) + 2.0 * np.cos(yy / 5.0)
+    terrain[:, 20] += 8.0          # a north-south ridge
+    terrain[8:11, 8:11] += 12.0    # a tower
+    observer = (4, 16)
+
+    m3 = Machine("scan", allow_concurrent_write=True)
+    vis = line_of_sight_grid(m3, terrain, observer, observer_height=2.0)
+    art = np.where(vis, "·", "█")
+    art[observer[1], observer[0]] = "O"
+    print("\n".join("".join(row) for row in art))
+    print(f"\nvisible cells: {int(vis.sum())}/{h * w} "
+          f"(the running maximum per ray is ONE segmented max-scan)")
+
+
+if __name__ == "__main__":
+    main()

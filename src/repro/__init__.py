@@ -1,0 +1,36 @@
+"""repro — a reproduction of Blelloch, *Scans as Primitive Parallel
+Operations* (ICPP 1987 / CMU TR, Nov 1989).
+
+The package provides:
+
+* :class:`repro.Machine` — simulated P-RAM models (``erew``, ``crew``,
+  ``crcw``, ``scan``) with exact program-step accounting;
+* :class:`repro.Vector` — machine-owned parallel vectors;
+* :mod:`repro.core` — the two scan primitives, all derived and segmented
+  scans, and the simple operations of Section 2.2;
+* :mod:`repro.graph` — the segmented graph representation and star-merge;
+* :mod:`repro.algorithms` — the paper's algorithms (split radix sort,
+  quicksort, MST, line drawing, halving merge, …) plus the other Table 1
+  entries;
+* :mod:`repro.baselines` — serial references and P-RAM baselines (bitonic
+  sort);
+* :mod:`repro.hardware` — a logic-level, clocked simulation of the paper's
+  bit-pipelined tree scan circuit, a bit-serial bitonic sorting network, and
+  a router model for memory-reference cost.
+
+Quickstart::
+
+    from repro import Machine
+    from repro.core import scans, ops
+
+    m = Machine("scan")
+    v = m.vector([5, 1, 3, 4, 3, 9, 2, 6])
+    print(scans.plus_scan(v).to_list())       # [0, 5, 6, 9, 13, 16, 25, 27]
+    print(m.steps)                            # 1
+"""
+from .core.vector import Vector
+from .machine import CapabilityError, Machine
+
+__version__ = "1.0.0"
+
+__all__ = ["CapabilityError", "Machine", "Vector", "__version__"]

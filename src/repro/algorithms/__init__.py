@@ -1,0 +1,119 @@
+"""Scan-model algorithms: the paper's five worked examples plus the other
+Table 1 entries.
+
+Paper sections:
+
+* :mod:`~repro.algorithms.radix_sort` — split radix sort (2.2.1)
+* :mod:`~repro.algorithms.quicksort` — segmented quicksort (2.3.1)
+* :mod:`~repro.algorithms.mst` — random-mate minimum spanning tree (2.3.3)
+* :mod:`~repro.algorithms.line_drawing` — allocation-based lines (2.4.1)
+* :mod:`~repro.algorithms.halving_merge` — the halving merge (2.5.1)
+
+Table 1 / Table 5 companions:
+
+* :mod:`~repro.algorithms.connected_components`,
+  :mod:`~repro.algorithms.maximal_independent_set`,
+  :mod:`~repro.algorithms.forest` (Euler-tour rootfix)
+* :mod:`~repro.algorithms.list_ranking`,
+  :mod:`~repro.algorithms.tree_contraction`
+* :mod:`~repro.algorithms.convex_hull`, :mod:`~repro.algorithms.kd_tree`,
+  :mod:`~repro.algorithms.closest_pair`,
+  :mod:`~repro.algorithms.line_of_sight`
+* :mod:`~repro.algorithms.matrix` — matmul, vector-matrix, linear solver
+"""
+from .biconnected import BiconnectedResult, biconnected_components
+from .bignum import (
+    big_add,
+    evaluate_polynomial,
+    generic_scan,
+    powers_of,
+    scan_add,
+)
+from .branch_and_bound import (
+    KnapsackResult,
+    knapsack_branch_and_bound,
+    knapsack_dp,
+)
+from .closest_pair import ClosestPairResult, closest_pair
+from .connected_components import ComponentsResult, connected_components
+from .convex_hull import HullResult, convex_hull
+from .forest import rootfix
+from .halving_merge import halving_merge, near_merge_fix
+from .kd_tree import KDLevel, KDTree, build_kd_tree
+from .line_drawing import LineDrawing, draw_lines, render
+from .line_of_sight import line_of_sight_grid, visibility
+from .list_ranking import list_rank, list_rank_and_tail, list_rank_sampled
+from .matrix import ParallelMatrix, mat_mul, mat_vec, solve
+from .max_flow import MaxFlowResult, max_flow
+from .maximal_independent_set import MISResult, maximal_independent_set
+from .mst import MSTResult, minimum_spanning_tree
+from .quicksort import QuicksortTrace, quicksort
+from .sparse import SparseMatrix
+from .radix_sort import (
+    key_bits,
+    split_radix_sort,
+    split_radix_sort_float,
+    split_radix_sort_signed,
+    split_radix_sort_with_rank,
+)
+from .tree_contraction import ExpressionTree, tree_contract
+from .treefix import RootedTree, build_rooted_tree, root_tree_edges
+
+__all__ = [
+    "BiconnectedResult",
+    "ClosestPairResult",
+    "RootedTree",
+    "SparseMatrix",
+    "biconnected_components",
+    "build_rooted_tree",
+    "root_tree_edges",
+    "KnapsackResult",
+    "big_add",
+    "evaluate_polynomial",
+    "generic_scan",
+    "knapsack_branch_and_bound",
+    "knapsack_dp",
+    "powers_of",
+    "scan_add",
+    "ComponentsResult",
+    "ExpressionTree",
+    "HullResult",
+    "KDLevel",
+    "KDTree",
+    "LineDrawing",
+    "MISResult",
+    "MSTResult",
+    "MaxFlowResult",
+    "max_flow",
+    "ParallelMatrix",
+    "QuicksortTrace",
+    "build_kd_tree",
+    "closest_pair",
+    "connected_components",
+    "convex_hull",
+    "draw_lines",
+    "halving_merge",
+    "key_bits",
+    "line_of_sight_grid",
+    "list_rank",
+    "list_rank_and_tail",
+    "list_rank_sampled",
+    "mat_mul",
+    "mat_vec",
+    "maximal_independent_set",
+    "minimum_spanning_tree",
+    "near_merge_fix",
+    "quicksort",
+    "radix_sort",
+    "render",
+    "rootfix",
+    "solve",
+    "split_radix_sort",
+    "split_radix_sort_float",
+    "split_radix_sort_signed",
+    "split_radix_sort_with_rank",
+    "tree_contract",
+    "visibility",
+]
+
+from . import radix_sort  # noqa: E402  (module alias for qualified access)

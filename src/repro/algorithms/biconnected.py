@@ -1,0 +1,164 @@
+"""Biconnected components (Tarjan–Vishkin) — Table 1's last graph row.
+
+The paper lists biconnected components at O(lg² n) EREW / O(lg n) CRCW /
+O(lg n) scan, citing its companion work.  The Tarjan–Vishkin reduction
+maps cleanly onto the substrates built here:
+
+1. a **spanning tree** (the MST machinery with edge ids as weights);
+2. **root** it and compute *preorder* and *subtree size* with treefix
+   operations (Euler tour + scans, O(lg n));
+3. per-vertex **low/high** — the extreme preorder reachable through one
+   non-tree edge from anywhere in the subtree — via one segmented
+   min/max-distribute over the graph representation followed by a
+   *subtree min/max* (the doubling table of :mod:`repro.algorithms.treefix`);
+4. build the **auxiliary graph** on the tree edges:
+
+   * a non-tree edge between unrelated vertices joins the two tree edges
+     entering them;
+   * a tree edge (w, v) joins its parent edge (p(w), w) when some
+     non-tree edge escapes w's subtree from inside v's;
+
+5. the **connected components** of the auxiliary graph are the
+   biconnectivity classes; non-tree edges inherit the class of the tree
+   edge entering their deeper endpoint.
+
+Articulation points and bridges fall out of the labeling: a vertex whose
+incident edges span two or more blocks is a cut vertex, and a block
+containing a single edge is a bridge.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import segmented
+from ..core.vector import Vector
+from ..graph.build import from_edges
+from ..machine.model import Machine
+from .connected_components import connected_components
+from .mst import minimum_spanning_tree
+from .treefix import build_rooted_tree, root_tree_edges
+
+__all__ = ["biconnected_components", "BiconnectedResult"]
+
+
+@dataclass
+class BiconnectedResult:
+    """Biconnectivity decomposition of a connected graph.
+
+    ``edge_labels[e]`` — block id of input edge ``e`` (ids are arbitrary
+    but equal within a block); ``articulation_points`` — sorted vertex
+    ids; ``bridges`` — sorted edge ids whose block is a single edge.
+    """
+
+    edge_labels: np.ndarray
+    num_components: int
+    articulation_points: np.ndarray
+    bridges: np.ndarray
+
+
+def biconnected_components(machine: Machine, n_vertices: int, edges
+                           ) -> BiconnectedResult:
+    """Decompose a *connected* undirected graph into biconnected
+    components (see module docstring for the construction)."""
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    m_edges = len(edges)
+    if n_vertices < 2 or m_edges == 0:
+        raise ValueError("need a connected graph on >= 2 vertices")
+
+    # --- 1. spanning tree -------------------------------------------- #
+    mst = minimum_spanning_tree(machine, n_vertices,
+                                edges, np.arange(m_edges, dtype=np.int64))
+    if len(mst.edge_ids) != n_vertices - 1:
+        raise ValueError("graph is not connected")
+    tree_ids = mst.edge_ids
+    is_tree_edge = np.zeros(m_edges, dtype=bool)
+    is_tree_edge[tree_ids] = True
+
+    # --- 2. root the tree, preorder + subtree sizes ------------------- #
+    parent = root_tree_edges(machine, n_vertices, edges[tree_ids], root=0)
+    tree = build_rooted_tree(machine, parent)
+    pre = tree.preorder()
+    size = tree.subtree_sizes()
+    root = tree.root
+
+    # --- 3. low/high via the graph representation + subtree extremes -- #
+    g = from_edges(machine, n_vertices, edges)
+    seg_id = np.cumsum(g.seg_flags.data) - 1
+    slot_vertex = g.vertex_reps[seg_id]
+    eid = g.slot_data["edge_id"].data
+    machine.charge_elementwise(g.num_slots)
+    nontree_slot = ~is_tree_edge[eid]
+    pre_self = pre[slot_vertex]
+    pre_other = pre[slot_vertex[g.cross_pointers.data]]
+    hi_id = np.iinfo(np.int64).min
+    lo_id = np.iinfo(np.int64).max
+    lo_vals = Vector(machine, np.where(nontree_slot, pre_other, lo_id))
+    hi_vals = Vector(machine, np.where(nontree_slot, pre_other, hi_id))
+    lo_per_vertex = g.slots_to_vertex(
+        segmented.seg_min_distribute(lo_vals, g.seg_flags)).data
+    hi_per_vertex = g.slots_to_vertex(
+        segmented.seg_max_distribute(hi_vals, g.seg_flags)).data
+    machine.charge_elementwise(n_vertices)
+    lo_local = np.minimum(pre, lo_per_vertex)
+    hi_local = np.maximum(pre, hi_per_vertex)
+    low = tree.subtree_min(lo_local)
+    high = tree.subtree_max(hi_local)
+
+    # --- 4. auxiliary graph on the tree edges (vertex v stands for the
+    #        tree edge entering v) ------------------------------------- #
+    machine.charge_elementwise(m_edges)
+    u, w = edges[:, 0], edges[:, 1]
+    u_anc_w = (pre[u] <= pre[w]) & (pre[w] < pre[u] + size[u])
+    w_anc_u = (pre[w] <= pre[u]) & (pre[u] < pre[w] + size[w])
+    unrelated = ~(u_anc_w | w_anc_u) & ~is_tree_edge
+    aux_a = u[unrelated]
+    aux_b = w[unrelated]
+
+    machine.charge_elementwise(n_vertices)
+    v_ids = np.arange(n_vertices)
+    nonroot = v_ids != root
+    wp = parent
+    escapes = nonroot & (wp != root) & (
+        (low < pre[wp]) | (high >= pre[wp] + size[wp]))
+    rule2_a = v_ids[escapes]
+    rule2_b = wp[escapes]
+
+    aux_edges = np.concatenate((
+        np.column_stack((aux_a, aux_b)),
+        np.column_stack((rule2_a, rule2_b)),
+    )) if len(aux_a) + len(rule2_a) else np.empty((0, 2), dtype=np.int64)
+    aux_edges = aux_edges[aux_edges[:, 0] != aux_edges[:, 1]]
+    if len(aux_edges):
+        aux_edges = np.unique(np.sort(aux_edges, axis=1), axis=0)
+
+    cc = connected_components(machine, n_vertices, aux_edges)
+    block_of_vertex = cc.labels  # block of the tree edge entering v
+
+    # --- 5. label every input edge ------------------------------------ #
+    machine.charge_elementwise(m_edges)
+    deeper = np.where(u_anc_w, w, np.where(w_anc_u, u, u))
+    tree_child = np.where(parent[u] == w, u, w)  # for tree edges
+    carrier = np.where(is_tree_edge, tree_child, deeper)
+    edge_labels = block_of_vertex[carrier]
+
+    # --- derived structure --------------------------------------------- #
+    blocks_at_vertex: dict[int, set[int]] = {v: set() for v in range(n_vertices)}
+    for e in range(m_edges):
+        blocks_at_vertex[int(u[e])].add(int(edge_labels[e]))
+        blocks_at_vertex[int(w[e])].add(int(edge_labels[e]))
+    articulation = np.array(sorted(
+        v for v, bl in blocks_at_vertex.items() if len(bl) >= 2), dtype=np.int64)
+    labels_unique, counts = np.unique(edge_labels, return_counts=True)
+    single = set(labels_unique[counts == 1].tolist())
+    bridges = np.array(sorted(
+        e for e in range(m_edges) if int(edge_labels[e]) in single),
+        dtype=np.int64)
+
+    return BiconnectedResult(
+        edge_labels=edge_labels,
+        num_components=int(len(labels_unique)),
+        articulation_points=articulation,
+        bridges=bridges,
+    )

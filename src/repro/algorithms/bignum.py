@@ -1,0 +1,127 @@
+"""The appendix's historical scan applications, made executable.
+
+* **Ofman (1963): binary addition as a scan.**  Adding two n-bit numbers
+  is a carry-resolution problem: position i generates a carry when both
+  bits are 1 and propagates one when exactly one is.  The appendix gives
+  the one-liner::
+
+      (A xor B) xor seg-or-scan(A and B,  not (A xor B))
+
+  — an or-scan over the generate bits, segmented so that a run of
+  propagate positions forwards a carry and anything else blocks it.  The
+  segment flags are the *non-propagate* positions (each starts a new
+  carry region).  One scan: O(1) program steps to add arbitrarily long
+  binary numbers with one processor per bit.
+
+* **Stone (1971): polynomial evaluation as a scan.**  The appendix
+  evaluates a polynomial with coefficient vector A at x by::
+
+      A * mult-scan(copy(X))
+
+  — copy x across the vector, take the exclusive product scan (yielding
+  [1, x, x², …]), multiply by the coefficients and sum.  The product
+  scan is not one of the paper's two primitives, so it is charged as a
+  programmed tree scan (2·lg n steps on every model) via
+  :func:`generic_scan`.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import ceil_log2
+from ..core import ops, scans, segmented
+from ..core.vector import Vector
+from ..machine.model import Machine
+
+__all__ = ["scan_add", "big_add", "powers_of", "evaluate_polynomial",
+           "generic_scan"]
+
+
+def scan_add(a_bits: Vector, b_bits: Vector) -> Vector:
+    """Add two binary numbers given as boolean vectors, LSB first,
+    returning the (n+1)-bit sum — Ofman's construction, O(1) steps.
+
+    ``carry_in[i]`` must be 1 exactly when some position ``j < i``
+    generates a carry and every position between propagates it.  With
+    segments starting wherever the propagate bit is 0, a segmented or-scan
+    of the generate bits computes precisely that.
+    """
+    if a_bits.dtype != np.bool_ or b_bits.dtype != np.bool_:
+        raise TypeError("scan_add takes boolean bit vectors (LSB first)")
+    if len(a_bits) != len(b_bits):
+        raise ValueError("operand lengths differ")
+    m = a_bits.machine
+    n = len(a_bits)
+    if n == 0:
+        return Vector(m, np.zeros(1, dtype=bool))
+    generate = a_bits & b_bits
+    propagate = a_bits ^ b_bits
+    # a carry region restarts after each *kill* position (neither bit set:
+    # no carry crosses it); generate positions inject carries and propagate
+    # positions forward them, so within a region "some generate before me"
+    # is exactly the incoming carry — one segmented or-scan
+    kill = ~(a_bits | b_bits)
+    m.charge_permute(n)  # shift: position i looks at kill[i-1]
+    seg_arr = np.empty(n, dtype=bool)
+    seg_arr[0] = True
+    seg_arr[1:] = kill.data[:-1]
+    carry_in = segmented.seg_or_scan(generate, Vector(m, seg_arr))
+    total = propagate ^ carry_in
+    # the (n+1)-th bit: carry out of the top position
+    m.charge_elementwise(n)
+    carry_out = bool(generate.data[-1] | (propagate.data[-1] & carry_in.data[-1]))
+    return ops.concat(total, Vector(m, np.array([carry_out])))
+
+
+def big_add(machine: Machine, a: int, b: int) -> int:
+    """Add two arbitrary-precision non-negative integers through
+    :func:`scan_add` (convenience wrapper; conversion is host-side)."""
+    if a < 0 or b < 0:
+        raise ValueError("big_add takes non-negative integers")
+    n = max(a.bit_length(), b.bit_length(), 1)
+    a_bits = machine.flags([(a >> i) & 1 for i in range(n)])
+    b_bits = machine.flags([(b >> i) & 1 for i in range(n)])
+    out = scan_add(a_bits, b_bits)
+    return int(sum(int(bit) << i for i, bit in enumerate(out.data)))
+
+
+def generic_scan(v: Vector, op: str = "mul") -> Vector:
+    """Exclusive scan under an arbitrary associative operator, computed by
+    the tree algorithm and charged ``2·lg n`` steps on *every* model (it
+    is a programmed loop of memory operations, not a primitive).
+
+    Supported operators: ``"mul"`` (identity 1) for Stone's polynomial
+    trick; ``"xor"`` (identity 0).
+    """
+    m = v.machine
+    n = len(v)
+    cost = max(1, 2 * ceil_log2(max(n, 2)))
+    for _ in range(cost):
+        m.charge_elementwise(n)
+    if op == "mul":
+        out = np.ones(n, dtype=v.dtype)
+        if n > 1:
+            out[1:] = np.cumprod(v.data[:-1])
+    elif op == "xor":
+        out = np.zeros(n, dtype=v.dtype)
+        if n:
+            out[1:] = np.bitwise_xor.accumulate(v.data[:-1])
+    else:
+        raise ValueError(f"unsupported operator {op!r}")
+    return Vector(m, out)
+
+
+def powers_of(machine: Machine, x, n: int, dtype=np.float64) -> Vector:
+    """``[1, x, x², …, x^(n-1)]`` via Stone's mult-scan of ``copy(x)``."""
+    xs = Vector(machine, np.full(n, x, dtype=dtype))
+    machine.charge_broadcast(n)  # the copy
+    return generic_scan(xs, "mul")
+
+
+def evaluate_polynomial(machine: Machine, coefficients, x) -> float:
+    """Evaluate ``sum(c_i x^i)`` — the appendix's ``A * mult-scan(copy(X))``
+    followed by a +-reduce."""
+    coeffs = np.asarray(coefficients, dtype=np.float64)
+    pw = powers_of(machine, float(x), len(coeffs))
+    terms = Vector(machine, coeffs) * pw
+    return float(scans.plus_reduce(terms))

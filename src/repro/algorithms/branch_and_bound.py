@@ -1,0 +1,143 @@
+"""Branch-and-bound search by processor allocation and load balancing.
+
+Section 2.4 motivates allocation with "the branching part of many
+branch-and-bound algorithms" (its example is a chess search: each position
+dynamically allocates a processor per candidate move) and Section 2.5 adds
+the bounding part: pruned branches drop out and the survivors are load
+balanced.
+
+This module is that pattern, concretely: an exact parallel 0/1-knapsack
+solver.  The frontier of partial solutions lives in a vector; each level
+
+1. computes, per node, how many children survive the bound (0, 1 or 2),
+2. **allocates** a processor per child with one ``+-scan`` (Figure 8),
+3. distributes the parent state over its children segment and extends it,
+4. **prunes** dominated/infeasible nodes and packs the survivors
+   (Figure 11's load balancing),
+
+so each level costs O(1) program steps plus the pack, independent of how
+bushy the tree is — the paper's dynamic-parallelism story end to end.
+The bound is the classic fractional-relaxation bound, and the incumbent
+is maintained with a ``max-reduce`` per level.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import ops, scans
+from ..core.vector import Vector
+from ..machine.model import Machine
+
+__all__ = ["knapsack_branch_and_bound", "KnapsackResult", "knapsack_dp"]
+
+
+@dataclass
+class KnapsackResult:
+    """``best_value`` and statistics of the search."""
+
+    best_value: int
+    levels: int
+    max_frontier: int
+    nodes_expanded: int
+
+
+def knapsack_dp(values, weights, capacity: int) -> int:
+    """Reference dynamic program (host-side oracle)."""
+    best = np.zeros(capacity + 1, dtype=np.int64)
+    for v, w in zip(values, weights):
+        if w <= capacity:
+            cand = best[: capacity + 1 - w] + v
+            best[w:] = np.maximum(best[w:], cand)
+    return int(best.max())
+
+
+def _fractional_bound(value, weight, level, v_sorted, w_sorted, capacity):
+    """Upper bound for each frontier node: current value plus the greedy
+    fractional completion over the remaining (density-sorted) items.
+    Host-side arithmetic mirrored by a constant number of charged
+    elementwise steps (the per-node loop body is O(items) local work that
+    each processor does on its own data)."""
+    n_nodes = len(value)
+    bound = value.astype(np.float64).copy()
+    room = (capacity - weight).astype(np.float64)
+    for j in range(level, len(v_sorted)):
+        take = np.minimum(room, w_sorted[j])
+        bound += take * (v_sorted[j] / w_sorted[j])
+        room -= take
+        if (room <= 0).all():
+            break
+    return bound
+
+
+def knapsack_branch_and_bound(machine: Machine, values, weights,
+                              capacity: int) -> KnapsackResult:
+    """Solve 0/1 knapsack exactly by frontier expansion on the scan model."""
+    values = np.asarray(values, dtype=np.int64)
+    weights = np.asarray(weights, dtype=np.int64)
+    if len(values) != len(weights):
+        raise ValueError("values and weights must have equal length")
+    if (weights <= 0).any() or (values < 0).any():
+        raise ValueError("weights must be positive and values non-negative")
+    if capacity < 0:
+        raise ValueError("capacity must be non-negative")
+    n_items = len(values)
+
+    # branch in density order so the fractional bound prunes hard
+    order = np.argsort(-(values / weights), kind="stable")
+    v_sorted = values[order].astype(np.float64)
+    w_sorted = weights[order].astype(np.float64)
+    vi = values[order]
+    wi = weights[order]
+
+    m = machine
+    # frontier vectors: accumulated value and weight per live node
+    val = Vector(m, np.zeros(1, dtype=np.int64))
+    wgt = Vector(m, np.zeros(1, dtype=np.int64))
+    incumbent = 0
+    max_frontier = 1
+    expanded = 0
+
+    for level in range(n_items):
+        k = len(val)
+        if k == 0:
+            break
+        expanded += k
+        max_frontier = max(max_frontier, k)
+
+        # children per node: the 'skip' child always exists; the 'take'
+        # child only if it fits (one elementwise step)
+        fits = wgt + int(wi[level]) <= capacity
+        counts = fits.astype(np.int64) + 1
+
+        # allocation: one +-scan sizes the next frontier (Figure 8)
+        seg_flags, hpointers = ops.allocate(m, counts)
+        total = len(seg_flags)
+
+        # route parents to their children: skip child at the segment head,
+        # take child (when present) right after — one permute for each
+        take_tgt = ops.pack(hpointers + 1, fits)
+        sv = ops.pack(val + int(vi[level]), fits)
+        sw = ops.pack(wgt + int(wi[level]), fits)
+        new_val = ops.concat(val, sv).permute(
+            ops.concat(hpointers, take_tgt), length=total)
+        new_wgt = ops.concat(wgt, sw).permute(
+            ops.concat(hpointers, take_tgt), length=total)
+
+        # bounding: update the incumbent (a max-reduce) and prune nodes
+        # whose optimistic bound cannot beat it
+        incumbent = max(incumbent, int(scans.max_reduce(new_val)))
+        m.charge_elementwise(total)
+        bound = _fractional_bound(new_val.data, new_wgt.data, level + 1,
+                                  v_sorted, w_sorted, capacity)
+        keep = Vector(m, bound > incumbent + 1e-9) | (new_val == incumbent)
+        # drop duplicates of the incumbent beyond one representative is
+        # unnecessary; load balancing packs the survivors (Figure 11)
+        val = ops.load_balance(new_val, keep)
+        wgt = ops.load_balance(new_wgt, keep)
+
+    if len(val):
+        incumbent = max(incumbent, int(scans.max_reduce(val)))
+    return KnapsackResult(best_value=incumbent, levels=n_items,
+                          max_frontier=max_frontier, nodes_expanded=expanded)

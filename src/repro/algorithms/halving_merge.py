@@ -1,0 +1,139 @@
+"""The halving merge (Section 2.5.1, Figure 12).
+
+Merge two sorted vectors by recursing on their even-positioned halves and
+then *even-inserting* the remaining elements:
+
+1. pack out the elements at even positions of each vector (a load-balancing
+   pack) and merge them recursively;
+2. place each unmerged element directly after its original predecessor in
+   the merged-halves vector (a processor allocation, Section 2.4), giving
+   the *near-merge* vector;
+3. the near-merge is sorted up to disjoint single rotations, which two
+   inclusive scans repair::
+
+       head-copy <- max(max-scan(near-merge), near-merge)
+       result    <- min(min-backscan(near-merge), head-copy)
+
+Each level is a constant number of primitives on a vector that halves in
+size, so with ``p`` processors the step complexity is O(n/p + lg n) — the
+paper's original algorithmic contribution, optimal for ``p < n / lg n``
+(Table 5).
+
+Internally the two inputs are fused into unique *keys* (``2·value`` for A,
+``2·value + 1`` for B) so the merge is stable, the origin flag of every
+output element is recoverable from the key's low bit (the paper's
+merge-flag vector), and the rotation repair acts on totally ordered keys.
+All communication is exclusive: the even-insertion routes every element —
+merged evens and their odd successors — through one global permute.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import ops, scans
+from ..core.vector import Vector
+
+__all__ = ["halving_merge", "near_merge_fix"]
+
+
+def near_merge_fix(near: Vector) -> Vector:
+    """Repair a near-merge vector (sorted up to disjoint single rotations)
+    with the paper's two-scan ``x-near-merge``: the first inclusive scan
+    copies each block head over its block, the second slides the block down
+    by one."""
+    head_copy = scans.max_scan(near).maximum(near)  # inclusive max-scan
+    return scans.back_min_scan(near).minimum(head_copy)
+
+
+def _check_sorted_nonneg(v: Vector, name: str) -> None:
+    d = v.data
+    if not np.issubdtype(d.dtype, np.integer):
+        raise TypeError(f"{name} must be an integer vector")
+    if len(d) and d.min() < 0:
+        raise ValueError(f"{name} must be non-negative (bias-shift first)")
+    if len(d) > 1 and (d[1:] < d[:-1]).any():
+        raise ValueError(f"{name} must be sorted")
+
+
+def halving_merge(a: Vector, b: Vector) -> tuple[Vector, Vector]:
+    """Merge sorted non-negative integer vectors ``a`` and ``b``.
+
+    Returns ``(merged, merge_flags)`` where ``merge_flags[i]`` is ``True``
+    when ``merged[i]`` came from ``b`` — the paper's merge-flag vector,
+    which "both uniquely specifies how the elements should be merged and
+    specifies in which position each element belongs".  Stable: on equal
+    keys, ``a``'s elements come first.
+    """
+    _check_sorted_nonneg(a, "a")
+    _check_sorted_nonneg(b, "b")
+    ka = a * 2
+    kb = b * 2 + 1
+    merged_keys = _merge_keys(ka, kb)
+    flags = (merged_keys & 1) > 0
+    values = merged_keys >> 1
+    return values, flags
+
+
+def _merge_keys(ka: Vector, kb: Vector) -> Vector:
+    m = ka.machine
+    n, k = len(ka), len(kb)
+    if n == 0:
+        return kb
+    if k == 0:
+        return ka
+    if n == 1 or k == 1:
+        return _base_merge(ka, kb)
+
+    # 1. recurse on the elements at even positions (a pack each)
+    even_a = (m.arange(n) % 2) == 0
+    even_b = (m.arange(k) % 2) == 0
+    merged = _merge_keys(ops.pack(ka, even_a), ops.pack(kb, even_b))
+
+    # 2. even-insertion.  A merged element of rank r within its source has
+    #    an unmerged successor exactly when the source held an element at
+    #    position 2r + 1, i.e. when r < floor(len/2) — pure arithmetic, no
+    #    communication.
+    mk = len(merged)
+    from_b = (merged & 1) > 0
+    rank_b = ops.enumerate_(from_b)
+    rank_a = ops.enumerate_(~from_b)
+    has_succ = from_b.where(rank_b < k // 2, rank_a < n // 2)
+    counts = has_succ.astype(np.int64) + 1
+    seg_flags, hpointers = ops.allocate(m, counts)
+    total = len(seg_flags)  # == n + k
+
+    # each odd (unmerged) element learns where its predecessor landed: the
+    # merged position of source-rank r is read off a packed position table
+    # (all gathers below use distinct indices — exclusive reads)
+    odd_a = ops.pack(ka, ~even_a)
+    odd_b = ops.pack(kb, ~even_b)
+    pos_a = ops.pack(m.arange(mk), ~from_b)  # merged index of A-rank r
+    pos_b = ops.pack(m.arange(mk), from_b)
+    pred_a = pos_a.gather(m.arange(len(odd_a)))
+    pred_b = pos_b.gather(m.arange(len(odd_b)))
+    tgt_a = hpointers.gather(pred_a) + 1
+    tgt_b = hpointers.gather(pred_b) + 1
+
+    # one global permute routes evens to their segment heads and odds to
+    # the cell just after their predecessor — a bijection onto [0, total)
+    values = ops.concat(merged, ops.concat(odd_a, odd_b))
+    targets = ops.concat(hpointers, ops.concat(tgt_a, tgt_b))
+    near = values.permute(targets, length=total)
+
+    # 3. repair the rotations
+    return near_merge_fix(near)
+
+
+def _base_merge(ka: Vector, kb: Vector) -> Vector:
+    """Merge when one side has a single element: O(1) primitives."""
+    m = ka.machine
+    n, k = len(ka), len(kb)
+    if n > 1:  # flip so the singleton is ka
+        ka, kb = kb, ka
+        n, k = k, n
+    lone = ka.first()
+    below = kb < lone
+    pos_lone = scans.plus_reduce(below.astype(np.int64))
+    pos_b = m.arange(k) + (~below).astype(np.int64)
+    index = ops.concat(m.vector([pos_lone]), pos_b)
+    return ops.concat(ka, kb).permute(index)

@@ -1,0 +1,115 @@
+"""Parallel line drawing by processor allocation (Section 2.4.1, Figure 9).
+
+Each line computes its pixel count — ``max(|dx|, |dy|) + 1`` with both
+endpoints, the DDA step count — and *allocates* a processor per pixel
+(Section 2.4): a ``+-scan`` over the counts assigns each line a contiguous
+segment, the endpoints are distributed over the segment with segmented
+copies, and every pixel processor then computes its own grid position from
+its offset within the segment.  O(1) program steps regardless of the number
+of lines or pixels.
+
+Placing the pixels on an actual grid needs "the simplest form of
+concurrent write" (two lines may cross); :func:`render` uses the machine's
+``combine_write`` and therefore requires a CRCW machine or
+``allow_concurrent_write=True``, exactly as the paper notes.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import ops, segmented
+from ..core.vector import Vector
+from ..machine.model import Machine
+
+__all__ = ["draw_lines", "render", "LineDrawing"]
+
+
+@dataclass
+class LineDrawing:
+    """Pixel positions produced by :func:`draw_lines`.
+
+    ``x``/``y`` are per-pixel coordinate vectors; ``seg_flags`` marks the
+    first pixel of each line's segment; ``counts`` is the per-line pixel
+    count.
+    """
+
+    x: Vector
+    y: Vector
+    seg_flags: Vector
+    counts: Vector
+
+    def pixels(self) -> np.ndarray:
+        """``(n_pixels, 2)`` integer array of (x, y) pairs (host-side)."""
+        return np.column_stack((self.x.data, self.y.data))
+
+
+def _distribute(values: Vector, hpointers: Vector, seg_flags: Vector,
+                counts: Vector) -> Vector:
+    """Distribute one per-line value over that line's pixel segment: a
+    permute to the segment heads plus a segmented copy (Figure 8)."""
+    m = values.machine
+    total = len(seg_flags)
+    nonempty = counts > 0
+    packed_vals = ops.pack(values, nonempty)
+    packed_heads = ops.pack(hpointers, nonempty)
+    at_heads = packed_vals.permute(packed_heads, length=total)
+    return segmented.seg_copy(at_heads, seg_flags)
+
+
+def draw_lines(machine: Machine, endpoints) -> LineDrawing:
+    """Compute the DDA pixels for a set of line segments.
+
+    ``endpoints`` is an ``(L, 4)`` array-like of ``(x0, y0, x1, y1)`` rows.
+    Returns one pixel per DDA step including both endpoints.
+    """
+    pts = np.asarray(endpoints, dtype=np.int64)
+    if pts.ndim != 2 or pts.shape[1] != 4:
+        raise ValueError(f"endpoints must have shape (L, 4), got {pts.shape}")
+    m = machine
+    x0 = Vector(m, pts[:, 0])
+    y0 = Vector(m, pts[:, 1])
+    x1 = Vector(m, pts[:, 2])
+    y1 = Vector(m, pts[:, 3])
+
+    dx = x1 - x0
+    dy = y1 - y0
+    steps = abs(dx).maximum(abs(dy))
+    counts = steps + 1
+
+    seg_flags, hpointers = ops.allocate(m, counts)
+    sx0 = _distribute(x0, hpointers, seg_flags, counts)
+    sy0 = _distribute(y0, hpointers, seg_flags, counts)
+    sdx = _distribute(dx, hpointers, seg_flags, counts)
+    sdy = _distribute(dy, hpointers, seg_flags, counts)
+    ssteps = _distribute(steps, hpointers, seg_flags, counts)
+
+    t = segmented.seg_index(seg_flags)
+    # DDA: advance one unit along the major axis per step; round the minor
+    # coordinate to the nearest pixel center (two elementwise steps)
+    m.charge_elementwise(len(seg_flags))
+    m.charge_elementwise(len(seg_flags))
+    denom = np.maximum(ssteps.data, 1)
+    px = sx0.data + np.floor_divide(2 * t.data * sdx.data + denom, 2 * denom)
+    py = sy0.data + np.floor_divide(2 * t.data * sdy.data + denom, 2 * denom)
+    return LineDrawing(
+        x=Vector(m, px),
+        y=Vector(m, py),
+        seg_flags=seg_flags,
+        counts=counts,
+    )
+
+
+def render(drawing: LineDrawing, width: int, height: int) -> np.ndarray:
+    """Scatter the pixels onto a ``height x width`` grid (one concurrent
+    write — a pixel may belong to several lines, so this needs CRCW or
+    ``allow_concurrent_write=True``)."""
+    m = drawing.x.machine
+    idx = drawing.y * width + drawing.x
+    if len(idx.data) and (drawing.x.data.min() < 0 or drawing.x.data.max() >= width
+                          or drawing.y.data.min() < 0 or drawing.y.data.max() >= height):
+        raise ValueError("pixel outside the grid")
+    ones = Vector(m, np.ones(len(idx), dtype=np.int64))
+    flat = ones.combine_write(idx, length=width * height, op="any", default=0)
+    return flat.data.reshape(height, width).astype(bool)

@@ -1,0 +1,87 @@
+"""Line of sight in O(1) program steps (Table 1).
+
+Given an observation point and altitudes along rays radiating from it, a
+point is visible exactly when the vertical angle from the observer to that
+point exceeds the angle to *every* earlier point on its ray — i.e. when its
+angle beats an exclusive segmented ``max-scan`` of the angles.  One scan,
+a handful of elementwise steps: O(1), the paper's only O(1)-row in Table 1
+(both P-RAM models need O(lg n) for the running maximum).
+
+:func:`visibility` is that core, taking per-ray altitude segments.
+:func:`line_of_sight_grid` is a convenience wrapper that builds the rays
+from a 2-D altitude grid with the line-drawing routine; reading the grid
+altitudes along crossing rays and painting the result back are concurrent
+memory operations, so the wrapper needs a CRCW machine or
+``allow_concurrent_write=True`` (the same caveat as rendering lines).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import segmented
+from ..core.vector import Vector
+from ..machine.model import Machine
+from .line_drawing import draw_lines
+
+__all__ = ["visibility", "line_of_sight_grid"]
+
+
+def visibility(altitudes: Vector, seg_flags: Vector, distances: Vector,
+               observer_altitude: float) -> Vector:
+    """Which points are visible from the observer along each ray?
+
+    ``altitudes`` holds the terrain height at each ray point, ``seg_flags``
+    marks each ray's first point, and ``distances`` the (positive) distance
+    of each point from the observer.  O(1) program steps.
+    """
+    m = altitudes.machine
+    m.charge_elementwise(len(altitudes))
+    angle = (altitudes.data - observer_altitude) / np.maximum(distances.data, 1e-12)
+    av = Vector(m, angle)
+    best_before = segmented.seg_max_scan(av, seg_flags, identity=-np.inf)
+    return av > best_before
+
+
+def line_of_sight_grid(machine: Machine, altitudes, observer: tuple[int, int],
+                       observer_height: float = 0.0) -> np.ndarray:
+    """Visibility map of a 2-D altitude grid from ``observer = (x, y)``.
+
+    Casts one ray to every boundary cell (so every grid cell is covered),
+    evaluates :func:`visibility` on all rays at once, and paints visible
+    cells back onto the grid with a combining write.
+    """
+    alt = np.asarray(altitudes, dtype=np.float64)
+    if alt.ndim != 2:
+        raise ValueError("altitudes must be a 2-D grid")
+    h, w = alt.shape
+    ox, oy = observer
+    if not (0 <= ox < w and 0 <= oy < h):
+        raise ValueError("observer outside the grid")
+
+    # rays to every boundary cell
+    bx = np.concatenate((np.arange(w), np.arange(w),
+                         np.zeros(h, dtype=int), np.full(h, w - 1)))
+    by = np.concatenate((np.zeros(w, dtype=int), np.full(w, h - 1),
+                         np.arange(h), np.arange(h)))
+    keep = ~((bx == ox) & (by == oy))
+    bx, by = bx[keep], by[keep]
+    ends = np.column_stack((np.full(len(bx), ox), np.full(len(bx), oy), bx, by))
+
+    drawing = draw_lines(machine, ends)
+    px, py = drawing.x.data, drawing.y.data
+
+    # altitude lookup along the rays: rays share cells near the observer, a
+    # concurrent read
+    machine.charge_combine_write(len(px))
+    ray_alt = Vector(machine, alt[py, px])
+    machine.charge_elementwise(len(px))
+    dist = Vector(machine, np.hypot(px - ox, py - oy))
+    vis = visibility(ray_alt, drawing.seg_flags, dist,
+                     float(alt[oy, ox]) + observer_height)
+
+    ones = Vector(machine, vis.data.astype(np.int64))
+    idx = Vector(machine, (py * w + px).astype(np.int64))
+    flat = ones.combine_write(idx, length=h * w, op="max", default=0)
+    grid = flat.data.reshape(h, w).astype(bool)
+    grid[oy, ox] = True
+    return grid

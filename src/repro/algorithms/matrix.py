@@ -1,0 +1,215 @@
+"""Matrix algorithms on the scan model (Table 1's matrix rows).
+
+With ``n²`` processors (one per matrix element, a flattened vector whose
+segments are matrix columns):
+
+* ``mat_vec`` — vector × matrix in **O(1)** program steps: distribute ``x``
+  down the columns with one permute + segmented copy, multiply, transpose
+  (a fixed permutation), and sum the rows with one segmented distribute.
+* ``mat_mul`` — matrix × matrix in **O(n)** steps: ``n`` rank-1 updates,
+  each O(1) (column of A copied across rows, row of B copied down columns).
+* ``solve`` — linear systems with partial pivoting in **O(n)** steps:
+  Gauss–Jordan elimination where each iteration finds the pivot with one
+  segmented max-distribute, swaps rows with one permute, and eliminates
+  with O(1) distributes.
+
+Under EREW charging the same code costs an extra ``lg n`` factor per
+broadcast/distribute — Table 1's ``O(n lg n)`` solver and ``O(lg n)``
+vector-matrix rows.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import ops, scans, segmented
+from ..core.vector import Vector
+from ..machine.model import Machine
+
+__all__ = ["ParallelMatrix", "mat_vec", "mat_mul", "solve"]
+
+
+class ParallelMatrix:
+    """An ``r x c`` matrix stored column-major in one machine vector, so
+    each column is a contiguous segment."""
+
+    def __init__(self, machine: Machine, array) -> None:
+        a = np.asarray(array, dtype=np.float64)
+        if a.ndim != 2:
+            raise ValueError(f"expected a 2-D array, got shape {a.shape}")
+        self.machine = machine
+        self.rows, self.cols = a.shape
+        self.flat = Vector(machine, a.reshape(-1, order="F"))
+        self._col_flags = None
+
+    @classmethod
+    def from_flat(cls, flat: Vector, rows: int, cols: int) -> "ParallelMatrix":
+        m = cls.__new__(cls)
+        m.machine = flat.machine
+        m.rows, m.cols = rows, cols
+        m.flat = flat
+        m._col_flags = None
+        return m
+
+    def to_array(self) -> np.ndarray:
+        return self.flat.data.reshape(self.rows, self.cols, order="F").copy()
+
+    def col_flags(self) -> Vector:
+        """Segment flags marking the head of each column (index arithmetic
+        every processor does locally; uncharged)."""
+        if self._col_flags is None:
+            f = np.zeros(self.rows * self.cols, dtype=bool)
+            f[:: self.rows] = True
+            self._col_flags = Vector(self.machine, f)
+        return self._col_flags
+
+    def transpose_index(self) -> Vector:
+        """The fixed transposition permutation (computed locally from each
+        processor's address; uncharged until used in a permute)."""
+        r, c = self.rows, self.cols
+        i = np.arange(r * c, dtype=np.int64)
+        row, col = i % r, i // r
+        return Vector(self.machine, row * c + col)
+
+    def transposed(self) -> "ParallelMatrix":
+        """Transpose with one permute."""
+        out = self.flat.permute(self.transpose_index())
+        return ParallelMatrix.from_flat(out, self.cols, self.rows)
+
+    def broadcast_row(self, k: int) -> Vector:
+        """Every element receives its column's entry from row ``k``: one
+        permute (row ``k`` to the column heads) plus a segmented copy."""
+        m = self.machine
+        n = self.rows * self.cols
+        row_pos = Vector(m, np.arange(self.cols, dtype=np.int64) * self.rows + k)
+        row_vals = self.flat.gather(row_pos)
+        heads = Vector(m, np.arange(self.cols, dtype=np.int64) * self.rows)
+        at_heads = row_vals.permute(heads, length=n)
+        return segmented.seg_copy(at_heads, self.col_flags())
+
+    def broadcast_col(self, k: int) -> Vector:
+        """Every element receives its row's entry from column ``k``
+        (broadcast a row of the transpose: two permutes + a copy)."""
+        t = self.transposed()
+        spread = t.broadcast_row(k)
+        return spread.permute(t.transpose_index())
+
+
+def mat_vec(machine: Machine, a, x) -> Vector:
+    """``A @ x`` in O(1) program steps with one processor per element."""
+    mat = a if isinstance(a, ParallelMatrix) else ParallelMatrix(machine, a)
+    xv = x if isinstance(x, Vector) else machine.vector(np.asarray(x, dtype=np.float64))
+    if len(xv) != mat.cols:
+        raise ValueError(f"length mismatch: {mat.cols} columns vs {len(xv)} entries")
+    m = machine
+    n = mat.rows * mat.cols
+    heads = Vector(m, np.arange(mat.cols, dtype=np.int64) * mat.rows)
+    x_at_heads = xv.permute(heads, length=n)
+    x_spread = segmented.seg_copy(x_at_heads, mat.col_flags())
+    prod = mat.flat * x_spread
+    # transpose so rows become contiguous, then one segmented sum per row
+    prod_t = ParallelMatrix.from_flat(prod.permute(mat.transpose_index()),
+                                      mat.cols, mat.rows)
+    sums = segmented.seg_plus_distribute(prod_t.flat, prod_t.col_flags())
+    return ops.pack(sums, prod_t.col_flags())
+
+
+def mat_mul(machine: Machine, a, b) -> ParallelMatrix:
+    """``A @ B`` in O(n) program steps (n rank-1 updates, each O(1))."""
+    ma = a if isinstance(a, ParallelMatrix) else ParallelMatrix(machine, a)
+    mb = b if isinstance(b, ParallelMatrix) else ParallelMatrix(machine, b)
+    if ma.cols != mb.rows:
+        raise ValueError(f"shape mismatch: {ma.cols} vs {mb.rows}")
+    m = machine
+    acc = Vector(m, np.zeros(ma.rows * mb.cols))
+    out = ParallelMatrix.from_flat(acc, ma.rows, mb.cols)
+    for k in range(ma.cols):
+        # A[:, k] is one contiguous column segment (an exclusive gather)
+        a_k = ma.flat.gather(
+            Vector(m, k * ma.rows + np.arange(ma.rows, dtype=np.int64)))
+        a_spread = _spread_over_rows(out, a_k)
+        b_spread = _spread_over_cols(out, mb, k)
+        acc = acc + a_spread * b_spread
+        out = ParallelMatrix.from_flat(acc, ma.rows, mb.cols)
+    return out
+
+
+def _spread_over_rows(out: ParallelMatrix, col_vals: Vector) -> Vector:
+    """Value ``col_vals[i]`` delivered to every output slot in row ``i``:
+    permute into the transposed layout's column heads, copy, permute back."""
+    t_rows, t_cols = out.cols, out.rows
+    m = out.machine
+    n = out.rows * out.cols
+    heads = Vector(m, np.arange(t_cols, dtype=np.int64) * t_rows)
+    at_heads = col_vals.permute(heads, length=n)
+    f = np.zeros(n, dtype=bool)
+    f[::t_rows] = True
+    spread_t = segmented.seg_copy(at_heads, Vector(m, f))
+    # spread_t is in transposed (row-contiguous) layout; undo
+    i = np.arange(n, dtype=np.int64)
+    row, col = i % t_rows, i // t_rows
+    back = Vector(m, row * t_cols + col)
+    return spread_t.permute(back)
+
+
+def _spread_over_cols(out: ParallelMatrix, mb: ParallelMatrix, k: int) -> Vector:
+    """``B[k, j]`` delivered to every output slot in column ``j``."""
+    m = out.machine
+    n = out.rows * out.cols
+    row_pos = Vector(m, np.arange(mb.cols, dtype=np.int64) * mb.rows + k)
+    row_vals = mb.flat.gather(row_pos)  # B[k, :]
+    heads = Vector(m, np.arange(out.cols, dtype=np.int64) * out.rows)
+    at_heads = row_vals.permute(heads, length=n)
+    return segmented.seg_copy(at_heads, out.col_flags())
+
+
+def solve(machine: Machine, a, b) -> Vector:
+    """Solve ``A x = b`` by Gauss–Jordan elimination with partial pivoting,
+    O(n) program steps with one processor per element of ``[A | b]``."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64).reshape(-1)
+    n = len(b)
+    if a.shape != (n, n):
+        raise ValueError(f"A must be ({n}, {n}), got {a.shape}")
+    aug = ParallelMatrix(machine, np.column_stack((a, b)))
+    m = machine
+    rows, cols = aug.rows, aug.cols
+    size = rows * cols
+
+    i = np.arange(size, dtype=np.int64)
+    row = i % rows
+    col = i // rows
+    for k in range(n):
+        # --- pivot selection: one masked max-distribute ------------------ #
+        flat = aug.flat
+        m.charge_elementwise(size)
+        in_pivot_col = (col == k) & (row >= k)
+        absval = np.abs(flat.data)
+        key = np.where(in_pivot_col, absval, -1.0)
+        scans.max_distribute(Vector(m, key))  # every processor learns the max
+        winner_row = int(row[in_pivot_col][np.argmax(key[in_pivot_col])])
+        if absval[winner_row + k * rows] == 0.0:
+            raise np.linalg.LinAlgError("matrix is singular")
+
+        # --- row swap: one permute --------------------------------------- #
+        if winner_row != k:
+            swap_to = np.where(row == k, winner_row,
+                               np.where(row == winner_row, k, row))
+            perm = swap_to + col * rows
+            aug = ParallelMatrix.from_flat(flat.permute(Vector(m, perm)), rows, cols)
+
+        # --- elimination: O(1) distributes + elementwise ------------------ #
+        pivot_row_vals = aug.broadcast_row(k)          # A[k, j] everywhere
+        pivot_col_vals = aug.broadcast_col(k)          # A[i, k] everywhere
+        m.charge_elementwise(size)
+        pkk = aug.flat.data[k + k * rows]              # one memory reference
+        m.counter.charge("memory", 1)
+        factor = pivot_col_vals * (1.0 / pkk)
+        is_pivot_row = Vector(m, row == k)
+        update = aug.flat - factor * pivot_row_vals
+        new_flat = is_pivot_row.where(aug.flat, update)
+        aug = ParallelMatrix.from_flat(new_flat, rows, cols)
+
+    # divide the rhs by the diagonal (one elementwise step after gathers)
+    diag = aug.flat.gather(Vector(m, np.arange(n, dtype=np.int64) * (rows + 1)))
+    rhs = aug.flat.gather(Vector(m, n * rows + np.arange(n, dtype=np.int64)))
+    return rhs / diag

@@ -1,0 +1,132 @@
+"""Segmented parallel quicksort (Section 2.3.1, Figure 5).
+
+Every segment is an independent subproblem: pick a pivot within each
+segment, compare, three-way split within the segment, insert new segment
+flags at the class boundaries, repeat until globally sorted.  Each
+iteration is a constant number of scan-model primitives, and with random
+pivots the expected number of iterations is O(lg n), so the expected step
+complexity is O(lg n).
+
+The paper reports that this sort ran in about twice the time of the split
+radix sort on the Connection Machine; the step-count benchmark in
+``benchmarks/bench_table1_sorting.py`` reproduces that relationship.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import scans, segmented
+from ..core.vector import Vector
+
+__all__ = ["quicksort", "QuicksortTrace"]
+
+
+@dataclass
+class QuicksortTrace:
+    """Per-iteration snapshots for reproducing Figure 5."""
+
+    keys: list[list] = field(default_factory=list)
+    seg_flags: list[list[bool]] = field(default_factory=list)
+    pivots: list[list] = field(default_factory=list)
+
+    @property
+    def iterations(self) -> int:
+        return len(self.keys)
+
+
+def _is_sorted(v: Vector) -> bool:
+    """Step 1: each processor checks its left neighbor, then an
+    ``and-distribute`` tells every processor (and the host) the verdict."""
+    m = v.machine
+    if len(v) <= 1:
+        m.charge_reduce(len(v))
+        return True
+    m.charge_permute(len(v))  # fetch the previous element (a shift)
+    prev_ok = Vector(m, np.concatenate(([True], v.data[:-1] <= v.data[1:])))
+    m.charge_elementwise(len(v))
+    return scans.and_reduce(prev_ok)
+
+
+def _pick_pivots(v: Vector, sf: Vector, how: str) -> Vector:
+    """Step 2: within each segment, pick a pivot and distribute it."""
+    m = v.machine
+    if how == "first":
+        return segmented.seg_copy(v, sf)
+    if how == "random":
+        # Each element draws a random tag; the segment minimum tag marks the
+        # pivot holder (ties broken by index via a combined unique key), and
+        # a segmented max-distribute spreads the pivot's key.  A constant
+        # number of primitives, matching the paper's sketch.
+        n = len(v)
+        m.charge_elementwise(n)  # draw the random numbers
+        tags = Vector(m, m.rng.integers(0, n * 4 + 1, size=n, dtype=np.int64))
+        unique_tags = tags * n + m.arange(n)
+        mn = segmented.seg_min_distribute(unique_tags, sf)
+        holder = unique_tags == mn
+        # spread the holder's key across the segment (non-holders carry the
+        # max identity so the holder's key wins the distribute)
+        masked = holder.where(v, scans.max_identity(v.dtype))
+        return segmented.seg_max_distribute(masked, sf)
+    raise ValueError(f"unknown pivot rule {how!r}")
+
+
+def quicksort(v: Vector, *, pivot: str = "random", trace: QuicksortTrace | None = None,
+              max_iterations: int | None = None) -> Vector:
+    """Sort ``v`` (any comparable dtype) on the scan model.
+
+    Parameters
+    ----------
+    pivot:
+        ``"random"`` (default, the paper's expected-O(lg n) analysis) or
+        ``"first"`` (Figure 5's deterministic illustration).
+    trace:
+        Optional :class:`QuicksortTrace` to fill with per-iteration state.
+    max_iterations:
+        Safety bound; defaults to ``4 * (lg n + 2)`` for random pivots.
+    """
+    m = v.machine
+    n = len(v)
+    if n == 0:
+        return v
+    sf_arr = np.zeros(n, dtype=bool)
+    sf_arr[0] = True
+    sf = Vector(m, sf_arr)
+    if max_iterations is None:
+        max_iterations = 60 if pivot == "random" else 4 * n + 8
+        max_iterations = max(max_iterations, 8 * (int(n).bit_length() + 2))
+
+    for _ in range(max_iterations):
+        if _is_sorted(v):
+            return v
+        pivots = _pick_pivots(v, sf, pivot)
+        lesser = v < pivots
+        equal = v == pivots
+        if trace is not None:
+            trace.keys.append(v.to_list())
+            trace.seg_flags.append(sf.to_list())
+            trace.pivots.append(pivots.to_list())
+        # Step 3: split within segments; the class labels ride along so the
+        # new segment boundaries can be read off neighbor changes (Step 4).
+        label = lesser.where(0, equal.where(1, 2)).astype(np.int64)
+        order = _seg_split3_index(v, lesser, equal, sf)
+        v = v.permute(order)
+        label = label.permute(order)
+        sf = segmented.seg_flag_from_neighbor_change(label, sf)
+    raise RuntimeError(f"quicksort did not converge in {max_iterations} iterations")
+
+
+def _seg_split3_index(v: Vector, lesser: Vector, equal: Vector, sf: Vector) -> Vector:
+    """The permutation used by the segmented three-way split (so several
+    vectors can ride through the same reordering)."""
+    m = v.machine
+    greater = ~(lesser | equal)
+    n_less = segmented.seg_plus_distribute(lesser.astype(np.int64), sf)
+    n_eq = segmented.seg_plus_distribute(equal.astype(np.int64), sf)
+    i_less = segmented.seg_enumerate(lesser, sf)
+    i_eq = segmented.seg_enumerate(equal, sf) + n_less
+    i_gt = segmented.seg_enumerate(greater, sf) + n_less + n_eq
+    local = lesser.where(i_less, equal.where(i_eq, i_gt))
+    head_pos = segmented.seg_copy(m.arange(len(v)), sf)
+    return local + head_pos

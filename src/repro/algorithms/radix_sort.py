@@ -1,0 +1,134 @@
+"""Split radix sort (Section 2.2.1, Figures 2–3).
+
+The paper's flagship example of *enumerating* with scans: loop over the bits
+of the keys from least significant to most significant, and on each
+iteration ``split`` the vector — pack keys with a 0 in the current bit to
+the bottom and keys with a 1 to the top, stably.  Each ``split`` is O(1)
+program steps, so sorting ``d``-bit keys takes ``O(d)`` steps: ``O(lg n)``
+under the usual assumption that keys are ``O(lg n)`` bits.
+
+This is the sort the Connection Machine's instruction set adopted; Table 4
+compares its circuit-level cost against Batcher's bitonic sort (see
+:mod:`repro.hardware.analysis`).
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core import ops, scans
+from ..core.vector import Vector
+
+__all__ = ["split_radix_sort", "split_radix_sort_with_rank",
+           "split_radix_sort_signed", "split_radix_sort_float", "key_bits"]
+
+
+def key_bits(v: Vector) -> int:
+    """Bits needed to represent the largest key (one reduce step).
+
+    The paper assumes the bit width ``d`` is known to the program; computing
+    it costs one ``max-reduce``.
+    """
+    top = scans.max_reduce(v)
+    return max(int(top).bit_length(), 1)
+
+
+def _check_sortable(v: Vector) -> None:
+    if not np.issubdtype(v.dtype, np.integer):
+        raise TypeError("split radix sort requires integer keys")
+    if len(v.data) and v.data.min() < 0:
+        raise ValueError(
+            "split radix sort requires non-negative keys; bias-shift signed "
+            "keys first (see examples/sorting_showdown.py)"
+        )
+
+
+def split_radix_sort(v: Vector, number_of_bits: Optional[int] = None) -> Vector:
+    """Sort non-negative integer keys with ``number_of_bits`` split passes.
+
+    ::
+
+        define split-radix-sort(A, number-of-bits){
+            for i from 0 to (number-of-bits - 1)
+                A <- split(A, A<i>)}
+
+    Stable, and O(1) program steps per bit.
+    """
+    _check_sortable(v)
+    if number_of_bits is None:
+        number_of_bits = key_bits(v)
+    for i in range(number_of_bits):
+        v = ops.split(v, v.bit(i))
+    return v
+
+
+def split_radix_sort_signed(v: Vector) -> Vector:
+    """Sort signed integers with the split radix sort.
+
+    The paper's remark that "integers, characters, and floating-point
+    numbers can all be sorted with a radix sort": signed keys become
+    order-isomorphic unsigned keys by a bias shift (one ``min-reduce``
+    and two elementwise steps around the unsigned sort).
+    """
+    if not np.issubdtype(v.dtype, np.integer):
+        raise TypeError("split_radix_sort_signed requires integer keys")
+    lo = scans.min_reduce(v)
+    shifted = v - lo
+    return split_radix_sort(shifted) + lo
+
+
+def split_radix_sort_float(v: Vector) -> Vector:
+    """Sort (non-NaN) float64 keys with 64 split passes.
+
+    The Section 3.4 trick: reinterpret the IEEE-754 bits as integers;
+    complement the whole word for negatives and flip the sign bit for
+    positives.  The encoded words, read as *unsigned* integers, order
+    exactly like the floats, so the usual bottom-bit-up split passes sort
+    them — ``v.bit(i)`` extracts raw bits regardless of two's-complement
+    sign, so no non-negativity shift is needed.  Two elementwise recode
+    steps around O(1) steps per bit.
+    """
+    if not np.issubdtype(v.dtype, np.floating):
+        raise TypeError("split_radix_sort_float requires float keys")
+    if np.isnan(v.data).any():
+        raise ValueError("NaN keys have no place in a total order")
+    m = v.machine
+    sign_bit = np.int64(-(2**63))
+    raw = v.data.astype(np.float64).view(np.int64)
+    m.charge_elementwise(len(v))
+    encoded = np.where(raw < 0, ~raw, raw ^ sign_bit)
+    keys = Vector(m, encoded)
+    for i in range(64):
+        keys = ops.split(keys, keys.bit(i))
+    m.charge_elementwise(len(v))
+    back = keys.data
+    # top bit clear <=> the float was negative (its word was complemented)
+    undone = np.where(back >= 0, ~back, back ^ sign_bit)
+    return Vector(m, undone.view(np.float64).copy())
+
+
+def split_radix_sort_with_rank(v: Vector, number_of_bits: Optional[int] = None
+                               ) -> tuple[Vector, Vector]:
+    """Sort and also return, for each *output* position, the input position
+    its key came from (the sort permutation).  Used by the graph builder to
+    carry edge payloads alongside the sorted vertex numbers.
+
+    The rank vector rides through the same splits as the keys, so the cost
+    is the same O(1) steps per bit with one extra permute each.
+    """
+    _check_sortable(v)
+    if number_of_bits is None:
+        number_of_bits = key_bits(v)
+    m = v.machine
+    rank = m.arange(len(v))
+    for i in range(number_of_bits):
+        flags = v.bit(i)
+        # both vectors move through the same permutation (Figure 3)
+        n = len(v)
+        i_down = ops.enumerate_(~flags)
+        i_up = (n - 1) - ops.back_enumerate(flags)
+        index = flags.where(i_up, i_down)
+        v = v.permute(index)
+        rank = rank.permute(index)
+    return v, rank

@@ -1,0 +1,38 @@
+"""Baselines: serial oracles and P-RAM comparison algorithms."""
+from .bitonic import bitonic_sort, bitonic_stage_count
+from .crcw_cc import SVResult, shiloach_vishkin_components
+from .erew_scan import erew_max_scan, erew_plus_scan, erew_scan_steps
+from .valiant_merge import valiant_merge
+from .serial import (
+    brute_closest_pair,
+    dda_line,
+    biconnected_edge_blocks,
+    dinic_max_flow,
+    kruskal_mst,
+    monotone_chain_hull,
+    serial_line_of_sight,
+    serial_merge,
+    serial_sort,
+    union_find_components,
+)
+
+__all__ = [
+    "SVResult",
+    "bitonic_sort",
+    "bitonic_stage_count",
+    "biconnected_edge_blocks",
+    "brute_closest_pair",
+    "dinic_max_flow",
+    "dda_line",
+    "erew_max_scan",
+    "erew_plus_scan",
+    "erew_scan_steps",
+    "kruskal_mst",
+    "monotone_chain_hull",
+    "serial_line_of_sight",
+    "serial_merge",
+    "serial_sort",
+    "shiloach_vishkin_components",
+    "union_find_components",
+    "valiant_merge",
+]

@@ -1,0 +1,70 @@
+"""Batcher's bitonic sort as a P-RAM baseline (Table 4's comparator).
+
+Bitonic sort needs no scans — only compare-exchanges between partners at
+hypercube distances — so it costs the same on every P-RAM variant:
+``lg n (lg n + 1) / 2`` stages of one exclusive gather plus one elementwise
+select, i.e. Θ(lg² n) program steps.  The paper compares it against the
+split radix sort both at the circuit level (Table 4; see
+:mod:`repro.hardware.bitonic_net`) and on the CM-1.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import ceil_log2
+from ..core.vector import Vector
+
+__all__ = ["bitonic_sort", "bitonic_stage_count"]
+
+
+def bitonic_stage_count(n: int) -> int:
+    """Number of compare-exchange stages for ``n`` (padded) keys."""
+    lg = ceil_log2(max(n, 1))
+    return lg * (lg + 1) // 2
+
+
+def bitonic_sort(v: Vector) -> Vector:
+    """Sort any comparable vector with Batcher's bitonic network.
+
+    Θ(lg² n) program steps; the input is padded to a power of two with the
+    dtype's maximum value, which is stripped afterwards.
+    """
+    m = v.machine
+    n = len(v)
+    if n <= 1:
+        return v
+    lg = ceil_log2(n)
+    size = 1 << lg
+    if np.issubdtype(v.dtype, np.integer):
+        pad_val = np.iinfo(v.dtype).max
+    elif v.dtype == np.bool_:
+        pad_val = True
+    else:
+        pad_val = np.inf
+    data = v
+    if size != n:
+        m.charge_permute(size)
+        padded = np.full(size, pad_val, dtype=v.dtype)
+        padded[:n] = v.data
+        data = Vector(m, padded)
+
+    idx = np.arange(size, dtype=np.int64)
+    for k_exp in range(1, lg + 1):
+        k = 1 << k_exp
+        for j_exp in range(k_exp - 1, -1, -1):
+            j = 1 << j_exp
+            partner = Vector(m, idx ^ j)
+            other = data.gather(partner)
+            m.charge_elementwise(size)
+            ascending = (idx & k) == 0
+            is_low = (idx & j) == 0
+            take_min = ascending == is_low
+            new = np.where(take_min,
+                           np.minimum(data.data, other.data),
+                           np.maximum(data.data, other.data))
+            data = Vector(m, new)
+
+    if size != n:
+        m.charge_permute(size)
+        data = Vector(m, data.data[:n].copy())
+    return data

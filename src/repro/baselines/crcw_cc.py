@@ -1,0 +1,109 @@
+"""Shiloach–Vishkin connected components — the O(lg n) *CRCW* algorithm
+Table 1's CRCW column cites [43].
+
+Unlike the star-merge algorithm (which maintains the segmented graph
+representation with scans), Shiloach–Vishkin works on a bare parent
+array with concurrent reads and combining (minimum) writes: hook smaller
+roots onto neighbors, hook stagnant stars, shortcut by pointer doubling.
+It is therefore a genuine *baseline* for the scan model: the same O(lg n)
+bound, achieved with the stronger memory primitives instead of scans.
+
+Every array operation charges the machine: gathers with duplicate indices
+(concurrent reads) and min-combining scatters (concurrent writes), so the
+algorithm refuses to run on EREW/scan machines — which is the point.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import ceil_log2
+from ..machine.model import CapabilityError, Machine
+
+__all__ = ["shiloach_vishkin_components", "SVResult"]
+
+
+@dataclass
+class SVResult:
+    labels: np.ndarray
+    num_components: int
+    iterations: int
+
+
+def _require_crcw(machine: Machine) -> None:
+    caps = machine.capabilities
+    if not (caps.concurrent_read and caps.combining_write):
+        raise CapabilityError(
+            "Shiloach-Vishkin needs concurrent reads and combining writes "
+            f"(a CRCW machine); got {machine.model!r}"
+        )
+
+
+def _star_check(machine: Machine, d: np.ndarray) -> np.ndarray:
+    """JaJa's star subroutine: ``star[v]`` iff v's tree is a star.
+    Three concurrent-read rounds plus one concurrent write."""
+    n = len(d)
+    machine.charge_gather(n, unique=False)
+    gd = d[d]
+    machine.charge_elementwise(n)
+    star = gd == d
+    bad = np.flatnonzero(~star)
+    machine.charge_combine_write(n)
+    star[gd[bad]] = False  # the grandparent's tree is not a star either
+    machine.charge_gather(n, unique=False)
+    return star[d]
+
+
+def shiloach_vishkin_components(machine: Machine, n_vertices: int, edges,
+                                *, max_iterations: int | None = None) -> SVResult:
+    """Label connected components with the Shiloach–Vishkin algorithm."""
+    _require_crcw(machine)
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    d = np.arange(n_vertices, dtype=np.int64)
+    if len(edges) == 0:
+        return SVResult(labels=d, num_components=n_vertices, iterations=0)
+    u = np.concatenate((edges[:, 0], edges[:, 1]))
+    v = np.concatenate((edges[:, 1], edges[:, 0]))
+    m_edges = len(u)
+    if max_iterations is None:
+        max_iterations = 4 * (ceil_log2(max(n_vertices, 2)) + 2) + 8
+
+    iterations = 0
+    while True:
+        if iterations >= max_iterations:  # pragma: no cover - defensive
+            raise RuntimeError("Shiloach-Vishkin did not converge")
+        iterations += 1
+        before = d.copy()
+
+        # --- conditional star hooking: smaller root wins ---------------- #
+        star = _star_check(machine, d)
+        machine.charge_gather(m_edges, unique=False)
+        du, dv = d[u], d[v]
+        machine.charge_elementwise(m_edges)
+        cond = star[u] & (dv < du)
+        machine.charge_combine_write(m_edges)
+        if cond.any():
+            np.minimum.at(d, du[cond], dv[cond])
+
+        # --- unconditional hooking of still-stagnant stars --------------- #
+        star = _star_check(machine, d)
+        machine.charge_gather(m_edges, unique=False)
+        du, dv = d[u], d[v]
+        machine.charge_elementwise(m_edges)
+        cond = star[u] & (dv != du)
+        machine.charge_combine_write(m_edges)
+        if cond.any():
+            np.minimum.at(d, du[cond], dv[cond])
+
+        # --- shortcut: pointer doubling ----------------------------------- #
+        machine.charge_gather(n_vertices, unique=False)
+        d = d[d]
+
+        machine.charge_reduce(n_vertices)
+        if np.array_equal(d, before):
+            break
+
+    return SVResult(labels=d,
+                    num_components=int(len(np.unique(d))),
+                    iterations=iterations)

@@ -1,0 +1,80 @@
+"""Scans by explicit EREW memory operations — the tree algorithm of
+Section 3.1 executed as ``2 lg n`` rounds of P-RAM memory references.
+
+This is what a pure P-RAM *pays* for a scan, spelled out: an up sweep that
+sums pairs up a balanced binary tree and a down sweep that pushes prefixes
+back.  The module exists (a) to validate the cost the ``Machine`` charges
+for scans on non-scan models against a real implementation, and (b) to let
+benchmarks show the identical algorithm/result with Θ(lg n) steps instead
+of one.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import ceil_log2
+from ..core.vector import Vector
+
+__all__ = ["erew_plus_scan", "erew_max_scan", "erew_scan_steps"]
+
+
+def erew_scan_steps(n: int) -> int:
+    """Program steps the explicit tree scan uses for ``n`` elements:
+    one combine step per level per sweep."""
+    if n <= 1:
+        return 2
+    return 2 * ceil_log2(n)
+
+
+def _tree_scan(v: Vector, op, identity) -> Vector:
+    m = v.machine
+    n = len(v)
+    if n == 0:
+        return v
+    lg = ceil_log2(n) if n > 1 else 1
+    size = 1 << lg
+    work = np.full(size, identity, dtype=v.dtype if v.dtype != np.bool_ else np.int64)
+    work[:n] = v.data
+
+    # up sweep: combine pairs at stride 2^(d+1) (one program step per level:
+    # each active processor reads one cell and combines)
+    for d in range(lg):
+        m.charge_elementwise(size >> (d + 1))
+        step = 1 << (d + 1)
+        half = 1 << d
+        left = np.arange(half - 1, size, step)
+        right = np.arange(step - 1, size, step)
+        work[right] = op(work[right], work[left])
+
+    # down sweep
+    work[size - 1] = identity
+    for d in range(lg - 1, -1, -1):
+        m.charge_elementwise(size >> (d + 1))
+        step = 1 << (d + 1)
+        half = 1 << d
+        left = np.arange(half - 1, size, step)
+        right = np.arange(step - 1, size, step)
+        t = work[left].copy()
+        work[left] = work[right]
+        work[right] = op(work[right], t)
+
+    out = work[:n]
+    if v.dtype == np.bool_:
+        out = out.astype(np.int64)
+    return Vector(m, out.copy())
+
+
+def erew_plus_scan(v: Vector) -> Vector:
+    """Exclusive ``+-scan`` by the explicit tree algorithm (Θ(lg n) steps)."""
+    data = v if v.dtype != np.bool_ else v.astype(np.int64)
+    return _tree_scan(data, np.add, 0)
+
+
+def erew_max_scan(v: Vector, identity=None) -> Vector:
+    """Exclusive ``max-scan`` by the explicit tree algorithm."""
+    if identity is None:
+        if np.issubdtype(v.dtype, np.integer):
+            identity = np.iinfo(v.dtype).min
+        else:
+            identity = -np.inf
+    return _tree_scan(v, np.maximum, identity)

@@ -1,0 +1,280 @@
+"""Serial reference implementations used to validate the parallel code.
+
+These are deliberately straightforward host-side algorithms — no machine,
+no step charging — so every scan-model algorithm in
+:mod:`repro.algorithms` has an independent oracle.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "serial_sort",
+    "serial_merge",
+    "kruskal_mst",
+    "union_find_components",
+    "dda_line",
+    "monotone_chain_hull",
+    "brute_closest_pair",
+    "serial_line_of_sight",
+]
+
+
+def serial_sort(values) -> np.ndarray:
+    """Stable sort (NumPy mergesort)."""
+    return np.sort(np.asarray(values), kind="stable")
+
+
+def serial_merge(a, b) -> np.ndarray:
+    """Stable two-way merge of sorted arrays (a's elements first on ties)."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    out = np.empty(len(a) + len(b), dtype=np.result_type(a.dtype, b.dtype))
+    i = j = k = 0
+    while i < len(a) and j < len(b):
+        if a[i] <= b[j]:
+            out[k] = a[i]
+            i += 1
+        else:
+            out[k] = b[j]
+            j += 1
+        k += 1
+    out[k:] = np.concatenate((a[i:], b[j:]))
+    return out
+
+
+class _DSU:
+    """Union-find with path halving."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        p = self.parent
+        while p[x] != x:
+            p[x] = p[p[x]]
+            x = p[x]
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self.parent[ra] = rb
+        return True
+
+
+def kruskal_mst(n_vertices: int, edges, weights) -> tuple[np.ndarray, int]:
+    """Kruskal's algorithm; returns (edge indices, total weight) of a
+    minimum spanning forest."""
+    edges = np.asarray(edges)
+    weights = np.asarray(weights)
+    order = np.argsort(weights, kind="stable")
+    dsu = _DSU(n_vertices)
+    chosen = []
+    for e in order:
+        u, v = int(edges[e, 0]), int(edges[e, 1])
+        if dsu.union(u, v):
+            chosen.append(int(e))
+    chosen = np.array(sorted(chosen), dtype=np.int64)
+    return chosen, int(weights[chosen].sum()) if len(chosen) else 0
+
+
+def union_find_components(n_vertices: int, edges) -> np.ndarray:
+    """Component labels via union-find, canonicalized so the label of a
+    component is its smallest vertex id."""
+    dsu = _DSU(n_vertices)
+    for u, v in np.asarray(edges).reshape(-1, 2):
+        dsu.union(int(u), int(v))
+    roots = np.array([dsu.find(v) for v in range(n_vertices)])
+    canon: dict[int, int] = {}
+    out = np.empty(n_vertices, dtype=np.int64)
+    for v in range(n_vertices):
+        out[v] = canon.setdefault(int(roots[v]), v)
+    return out
+
+
+def dda_line(x0: int, y0: int, x1: int, y1: int) -> list[tuple[int, int]]:
+    """The simple DDA of Newman & Sproull: step along the major axis and
+    round the minor coordinate (round-half-up via floor division, matching
+    the parallel routine)."""
+    dx, dy = x1 - x0, y1 - y0
+    steps = max(abs(dx), abs(dy))
+    if steps == 0:
+        return [(x0, y0)]
+    pts = []
+    for t in range(steps + 1):
+        px = x0 + (2 * t * dx + steps) // (2 * steps)
+        py = y0 + (2 * t * dy + steps) // (2 * steps)
+        pts.append((px, py))
+    return pts
+
+
+def monotone_chain_hull(points) -> set[tuple[int, int]]:
+    """Strict convex hull vertex set by Andrew's monotone chain."""
+    pts = sorted(set(map(tuple, np.asarray(points).tolist())))
+    if len(pts) <= 2:
+        return set(pts)
+
+    def build(seq):
+        h: list[tuple[int, int]] = []
+        for p in seq:
+            while len(h) >= 2 and (
+                (h[-1][0] - h[-2][0]) * (p[1] - h[-2][1])
+                - (h[-1][1] - h[-2][1]) * (p[0] - h[-2][0])
+            ) <= 0:
+                h.pop()
+            h.append(p)
+        return h
+
+    return set(build(pts)[:-1] + build(pts[::-1])[:-1])
+
+
+def brute_closest_pair(points) -> int:
+    """Minimum squared distance by brute force."""
+    pts = np.asarray(points, dtype=np.int64)
+    n = len(pts)
+    best = np.iinfo(np.int64).max
+    for i in range(n):
+        d = pts[i + 1:] - pts[i]
+        if len(d):
+            best = min(best, int((d * d).sum(axis=1).min()))
+    return best
+
+
+def dinic_max_flow(n_vertices: int, arcs, source: int, sink: int) -> int:
+    """Dinic's algorithm on a directed capacitated graph.
+
+    ``arcs`` is an iterable of ``(u, v, capacity)``; antiparallel arcs are
+    allowed.  Returns the maximum s-t flow value (oracle for the parallel
+    push–relabel solver).
+    """
+    from collections import deque
+
+    head: list[int] = []
+    nxt: list[int] = []
+    cap: list[int] = []
+    first = [-1] * n_vertices
+
+    def add(u, v, c):
+        head.append(v)
+        cap.append(c)
+        nxt.append(first[u])
+        first[u] = len(head) - 1
+
+    for u, v, c in arcs:
+        add(int(u), int(v), int(c))
+        add(int(v), int(u), 0)
+
+    flow = 0
+    while True:
+        level = [-1] * n_vertices
+        level[source] = 0
+        q = deque([source])
+        while q:
+            u = q.popleft()
+            e = first[u]
+            while e != -1:
+                if cap[e] > 0 and level[head[e]] < 0:
+                    level[head[e]] = level[u] + 1
+                    q.append(head[e])
+                e = nxt[e]
+        if level[sink] < 0:
+            return flow
+        it = first.copy()
+
+        def dfs(u, pushed):
+            if u == sink:
+                return pushed
+            while it[u] != -1:
+                e = it[u]
+                v = head[e]
+                if cap[e] > 0 and level[v] == level[u] + 1:
+                    got = dfs(v, min(pushed, cap[e]))
+                    if got:
+                        cap[e] -= got
+                        cap[e ^ 1] += got
+                        return got
+                it[u] = nxt[e]
+            return 0
+
+        while True:
+            pushed = dfs(source, 1 << 60)
+            if not pushed:
+                break
+            flow += pushed
+
+
+def biconnected_edge_blocks(n_vertices: int, edges) -> list[frozenset[int]]:
+    """Hopcroft–Tarjan biconnected components (iterative, with an edge
+    stack); returns the partition of edge ids into blocks."""
+    edges = np.asarray(edges).reshape(-1, 2)
+    adj: list[list[tuple[int, int]]] = [[] for _ in range(n_vertices)]
+    for e, (u, v) in enumerate(edges):
+        adj[int(u)].append((int(v), e))
+        adj[int(v)].append((int(u), e))
+
+    visited = [False] * n_vertices
+    disc = [0] * n_vertices
+    low = [0] * n_vertices
+    timer = [1]
+    blocks: list[frozenset[int]] = []
+    edge_stack: list[int] = []
+    seen_edge = [False] * len(edges)
+
+    for start in range(n_vertices):
+        if visited[start] or not adj[start]:
+            continue
+        stack = [(start, -1, iter(adj[start]))]
+        visited[start] = True
+        disc[start] = low[start] = timer[0]
+        timer[0] += 1
+        while stack:
+            v, parent_edge, it = stack[-1]
+            advanced = False
+            for w, e in it:
+                if e == parent_edge:
+                    continue
+                if not seen_edge[e]:
+                    seen_edge[e] = True
+                    edge_stack.append(e)
+                if not visited[w]:
+                    visited[w] = True
+                    disc[w] = low[w] = timer[0]
+                    timer[0] += 1
+                    stack.append((w, e, iter(adj[w])))
+                    advanced = True
+                    break
+                low[v] = min(low[v], disc[w])
+            if advanced:
+                continue
+            stack.pop()
+            if stack:
+                pv = stack[-1][0]
+                low[pv] = min(low[pv], low[v])
+                if low[v] >= disc[pv]:
+                    # pop the block, up to and including v's parent edge
+                    block = []
+                    while edge_stack:
+                        e = edge_stack.pop()
+                        block.append(e)
+                        if e == parent_edge:
+                            break
+                    blocks.append(frozenset(block))
+    return blocks
+
+
+def serial_line_of_sight(altitudes: np.ndarray, values_per_ray, observer_altitude: float
+                         ) -> list[list[bool]]:
+    """Visibility per ray by a running maximum (oracle for
+    :func:`repro.algorithms.visibility`)."""
+    out = []
+    for alts, dists in values_per_ray:
+        best = -np.inf
+        ray = []
+        for a, d in zip(alts, dists):
+            ang = (a - observer_altitude) / max(d, 1e-12)
+            ray.append(ang > best)
+            best = max(best, ang)
+        out.append(ray)
+    return out

@@ -1,0 +1,181 @@
+"""Command-line interface: regenerate the paper's tables from a terminal.
+
+::
+
+    python -m repro table1 mst          # one Table 1 row
+    python -m repro table2              # scan vs memory reference
+    python -m repro table4              # split radix vs bitonic
+    python -m repro table5              # processor-step complexity
+    python -m repro figure9             # the line-drawing figure (ASCII)
+    python -m repro demo                # a quick primitive tour
+
+The heavyweight regeneration (wall-clock timing included) lives in
+``pytest benchmarks/ --benchmark-only``; this CLI prints the step/cycle
+tables directly for interactive use.
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _table1(args) -> None:
+    from . import Machine
+    from .algorithms import (
+        connected_components,
+        maximal_independent_set,
+        minimum_spanning_tree,
+        quicksort,
+        split_radix_sort,
+    )
+    from .graph import random_connected_graph
+
+    algos = {
+        "mst": lambda m, n, e, w: minimum_spanning_tree(m, n, e, w),
+        "cc": lambda m, n, e, w: connected_components(m, n, e),
+        "mis": lambda m, n, e, w: maximal_independent_set(m, n, e),
+    }
+    sort_algos = {
+        "radix": split_radix_sort,
+        "quicksort": quicksort,
+    }
+    name = args.algorithm
+    sizes = [64, 256, 1024] if name in algos else [256, 1024, 4096]
+    print(f"Table 1 ({name}): program steps")
+    print(f"{'model':<8}" + "".join(f"{f'n={n}':>10}" for n in sizes))
+    for model in ("erew", "crcw", "scan"):
+        row = []
+        for n in sizes:
+            m = Machine(model, seed=0)
+            if name in algos:
+                rng = np.random.default_rng(0)
+                edges, weights = random_connected_graph(rng, n, 2 * n)
+                algos[name](m, n, edges, weights)
+            else:
+                rng = np.random.default_rng(0)
+                sort_algos[name](m.vector(rng.integers(0, n, n)))
+            row.append(m.steps)
+        print(f"{model:<8}" + "".join(f"{s:>10}" for s in row))
+
+
+def _table2(args) -> None:
+    from .hardware import example_system, scan_vs_memory
+
+    t = scan_vs_memory(args.n, 32)
+    print(f"Table 2 at n={args.n}, 32-bit operands")
+    print(f"{'':<26}{'memory ref':>12}{'scan':>10}")
+    print(f"{'bit cycles':<26}"
+          f"{int(t['memory_reference']['bit_cycles_wormhole']):>12}"
+          f"{int(t['scan_operation']['bit_cycles']):>10}")
+    print(f"{'circuit size':<26}{int(t['memory_reference']['circuit_size']):>12}"
+          f"{int(t['scan_operation']['circuit_size']):>10}")
+    print(f"{'VLSI area':<26}{int(t['memory_reference']['vlsi_area']):>12}"
+          f"{int(t['scan_operation']['vlsi_area']):>10}")
+    es = example_system()
+    print(f"\nSection 3.3 system: {es.per_board_chip_state_machines} SMs + "
+          f"{es.per_board_chip_shift_registers} FIFOs per chip; "
+          f"32-bit scan = {es.scan_time_at_100ns * 1e6:.1f} us @ 100 ns")
+
+
+def _table4(args) -> None:
+    from .hardware import sort_comparison
+
+    print(f"Table 4: split radix vs bitonic, n={args.n}")
+    print(f"{'d':>4}{'split radix':>14}{'bitonic':>10}{'winner':>14}")
+    for d in (2, 4, 8, 16, 24, 32):
+        t = sort_comparison(args.n, d)
+        s = t["split_radix"]["simulated_cycles"]
+        b = t["bitonic"]["simulated_cycles"]
+        print(f"{d:>4}{s:>14}{b:>10}{'split radix' if s < b else 'bitonic':>14}")
+
+
+def _table5(args) -> None:
+    from . import Machine
+    from .algorithms import halving_merge
+
+    n = args.n
+    rng = np.random.default_rng(0)
+    a = np.sort(rng.integers(0, 10**6, n))
+    b = np.sort(rng.integers(0, 10**6, n))
+    lg = max(int(n).bit_length() - 1, 1)
+    print(f"Table 5 (halving merge, two {n}-element vectors)")
+    print(f"{'processors':>12}{'steps':>8}{'work':>14}")
+    for p in (2 * n, (2 * n) // lg):
+        m = Machine("scan", num_processors=p)
+        halving_merge(m.vector(a), m.vector(b))
+        print(f"{p:>12}{m.steps:>8}{p * m.steps:>14}")
+
+
+def _figure9(args) -> None:
+    from . import Machine
+    from .algorithms import draw_lines, render
+
+    m = Machine("scan", allow_concurrent_write=True)
+    d = draw_lines(m, [[11, 2, 23, 14], [2, 13, 13, 8], [16, 4, 31, 4]])
+    grid = render(d, 32, 16)
+    print(f"Figure 9 — pixels per line: {d.counts.to_list()}, "
+          f"{m.steps} program steps")
+    for row in grid[::-1]:
+        print("".join("#" if c else "." for c in row))
+
+
+def _demo(args) -> None:
+    from . import Machine
+    from .core import scans
+
+    m = Machine("scan")
+    v = m.vector([2, 1, 2, 3, 5, 8, 13, 21])
+    print("A         =", v.to_list())
+    print("+-scan(A) =", scans.plus_scan(v).to_list())
+    print("steps     =", m.steps)
+    e = Machine("erew")
+    scans.plus_scan(e.vector(range(65536)))
+    print(f"same scan, n=65536, EREW: {e.steps} steps (2 lg n)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce tables/figures from 'Scans as Primitive "
+                    "Parallel Operations' (Blelloch, 1987/89)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p1 = sub.add_parser("table1", help="step-complexity rows")
+    p1.add_argument("algorithm",
+                    choices=["mst", "cc", "mis", "radix", "quicksort"])
+    p1.set_defaults(func=_table1)
+
+    p2 = sub.add_parser("table2", help="scan vs memory reference")
+    p2.add_argument("--n", type=int, default=65536)
+    p2.set_defaults(func=_table2)
+
+    p4 = sub.add_parser("table4", help="split radix vs bitonic")
+    p4.add_argument("--n", type=int, default=65536)
+    p4.set_defaults(func=_table4)
+
+    p5 = sub.add_parser("table5", help="processor-step complexity")
+    p5.add_argument("--n", type=int, default=8192)
+    p5.set_defaults(func=_table5)
+
+    p9 = sub.add_parser("figure9", help="the line-drawing figure")
+    p9.set_defaults(func=_figure9)
+
+    pd = sub.add_parser("demo", help="a 10-second primitive tour")
+    pd.set_defaults(func=_demo)
+
+    args = parser.parse_args(argv)
+    try:
+        args.func(args)
+    except BrokenPipeError:  # e.g. `python -m repro table4 | head`
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

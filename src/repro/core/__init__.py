@@ -1,0 +1,15 @@
+"""Core scan-model data types and primitives.
+
+* :mod:`repro.core.vector` — the machine-owned :class:`Vector`.
+* :mod:`repro.core.scans` — the two primitive scans and their derivatives.
+* :mod:`repro.core.segmented` — segmented scans and segmented operations.
+* :mod:`repro.core.ops` — enumerate / copy / distribute / split / pack /
+  allocate / load-balance.
+* :mod:`repro.core.simulate` — the literal Section-3.4 constructions of all
+  scans from ``+-scan`` and ``max-scan`` alone.
+"""
+from . import nested, ops, scans, segmented, simulate
+from .nested import SegmentedVector
+from .vector import Vector
+
+__all__ = ["SegmentedVector", "Vector", "nested", "ops", "scans", "segmented", "simulate"]

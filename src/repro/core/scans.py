@@ -1,0 +1,249 @@
+"""The scan primitives and the scans derived from them.
+
+The paper admits exactly **two** primitive scans — integer ``+-scan`` and
+integer ``max-scan`` — and builds every other scan on top (Section 3.4).
+This module mirrors that structure:
+
+* :func:`plus_scan` and :func:`max_scan` are the primitives; each charges one
+  ``scan`` program step to the machine (unit time on the scan model, a
+  ``2⌈lg n⌉`` tree of memory references on the other models).
+* :func:`min_scan`, :func:`or_scan`, :func:`and_scan` and the ``back_*``
+  variants are *compositions*: they call the primitives on transformed
+  vectors, so their step cost is exactly what the paper's constructions pay.
+* ``*_reduce`` and ``*_distribute`` are the Section 2.2 simple operations
+  built from scans (``+-distribute`` = ``+-scan`` + backward copy).
+
+All scans are **exclusive** (the paper's definition): element ``i`` of the
+result combines elements ``0 .. i-1`` of the input, and element ``0`` is the
+operator's identity.
+
+>>> from repro import Machine
+>>> m = Machine("scan")
+>>> plus_scan(m.vector([2, 1, 2, 3, 5, 8, 13, 21])).to_list()
+[0, 2, 3, 5, 8, 13, 21, 34]
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from .vector import Vector
+
+__all__ = [
+    "plus_scan",
+    "max_scan",
+    "min_scan",
+    "or_scan",
+    "and_scan",
+    "back_plus_scan",
+    "back_max_scan",
+    "back_min_scan",
+    "back_or_scan",
+    "back_and_scan",
+    "plus_reduce",
+    "max_reduce",
+    "min_reduce",
+    "or_reduce",
+    "and_reduce",
+    "plus_distribute",
+    "max_distribute",
+    "min_distribute",
+    "or_distribute",
+    "and_distribute",
+    "max_identity",
+    "min_identity",
+]
+
+
+# --------------------------------------------------------------------- #
+# Identities
+# --------------------------------------------------------------------- #
+
+def max_identity(dtype: np.dtype):
+    """The identity of ``max`` for ``dtype`` (the smallest representable value)."""
+    dtype = np.dtype(dtype)
+    if dtype == np.bool_:
+        return False
+    if np.issubdtype(dtype, np.integer):
+        return np.iinfo(dtype).min
+    return -np.inf
+
+
+def min_identity(dtype: np.dtype):
+    """The identity of ``min`` for ``dtype`` (the largest representable value)."""
+    dtype = np.dtype(dtype)
+    if dtype == np.bool_:
+        return True
+    if np.issubdtype(dtype, np.integer):
+        return np.iinfo(dtype).max
+    return np.inf
+
+
+# --------------------------------------------------------------------- #
+# The two primitives
+# --------------------------------------------------------------------- #
+
+def plus_scan(v: Vector) -> Vector:
+    """Exclusive ``+-scan``: ``out[i] = v[0] + ... + v[i-1]``, ``out[0] = 0``.
+
+    One of the two primitive scans; one program step.
+    """
+    v.machine.charge_scan(len(v))
+    data = v.data
+    if data.dtype == np.bool_:
+        data = data.astype(np.int64)
+    out = np.empty_like(data)
+    if len(data):
+        out[0] = 0
+        np.cumsum(data[:-1], out=out[1:])
+    return Vector(v.machine, out)
+
+
+def max_scan(v: Vector, identity=None) -> Vector:
+    """Exclusive ``max-scan``: ``out[i] = max(v[0..i-1])``, ``out[0] = identity``.
+
+    One of the two primitive scans; one program step.  ``identity`` defaults
+    to the smallest representable value of the dtype; pass ``identity=0`` to
+    match the paper's unsigned-integer figures.
+    """
+    v.machine.charge_scan(len(v))
+    data = v.data
+    if identity is None:
+        identity = max_identity(data.dtype)
+    out = np.empty_like(data)
+    if len(data):
+        out[0] = identity
+        np.maximum.accumulate(data[:-1], out=out[1:])
+        np.maximum(out[1:], identity, out=out[1:])
+    return Vector(v.machine, out)
+
+
+# --------------------------------------------------------------------- #
+# Derived scans (Section 3.4 compositions — costs flow through primitives)
+# --------------------------------------------------------------------- #
+
+def min_scan(v: Vector, identity=None) -> Vector:
+    """Exclusive ``min-scan``, built as ``-max-scan(-v)`` (Section 3.4)."""
+    if identity is None:
+        identity = min_identity(v.dtype)
+    neg = -v
+    scanned = max_scan(neg, identity=-np.asarray(identity, dtype=v.dtype)
+                       if v.dtype != np.bool_ else not identity)
+    return -scanned
+
+
+def or_scan(v: Vector) -> Vector:
+    """Exclusive ``or-scan``: a one-bit ``max-scan`` (Section 3.4)."""
+    as_int = v.astype(np.int64)
+    scanned = max_scan(as_int, identity=0)
+    return scanned > 0
+
+
+def and_scan(v: Vector) -> Vector:
+    """Exclusive ``and-scan``: a one-bit ``min-scan`` (Section 3.4)."""
+    as_int = v.astype(np.int64)
+    scanned = min_scan(as_int, identity=1)
+    return scanned > 0
+
+
+# --------------------------------------------------------------------- #
+# Backward scans: read the vector in reverse order (Section 3.4)
+# --------------------------------------------------------------------- #
+
+def _backward(scan_fn, v: Vector, **kw) -> Vector:
+    return scan_fn(v.reverse(), **kw).reverse()
+
+
+def back_plus_scan(v: Vector) -> Vector:
+    """Exclusive ``+-scan`` from the last element toward the first."""
+    return _backward(plus_scan, v)
+
+
+def back_max_scan(v: Vector, identity=None) -> Vector:
+    """Exclusive ``max-scan`` from the last element toward the first."""
+    return _backward(max_scan, v, identity=identity)
+
+
+def back_min_scan(v: Vector, identity=None) -> Vector:
+    """Exclusive ``min-scan`` from the last element toward the first."""
+    return _backward(min_scan, v, identity=identity)
+
+
+def back_or_scan(v: Vector) -> Vector:
+    return _backward(or_scan, v)
+
+
+def back_and_scan(v: Vector) -> Vector:
+    return _backward(and_scan, v)
+
+
+# --------------------------------------------------------------------- #
+# Reductions (all elements -> one value)
+# --------------------------------------------------------------------- #
+
+def _reduce(v: Vector, np_fn, empty):
+    v.machine.charge_reduce(len(v))
+    if len(v) == 0:
+        return empty
+    return np_fn(v.data).item()
+
+
+def plus_reduce(v: Vector):
+    """Sum of all elements (one reduce step)."""
+    return _reduce(v, np.sum, 0)
+
+
+def max_reduce(v: Vector):
+    """Maximum of all elements (one reduce step)."""
+    return _reduce(v, np.max, max_identity(v.dtype))
+
+
+def min_reduce(v: Vector):
+    """Minimum of all elements (one reduce step)."""
+    return _reduce(v, np.min, min_identity(v.dtype))
+
+
+def or_reduce(v: Vector) -> bool:
+    return bool(_reduce(v, np.any, False))
+
+
+def and_reduce(v: Vector) -> bool:
+    return bool(_reduce(v, np.all, True))
+
+
+# --------------------------------------------------------------------- #
+# Distributes (Section 2.2): every element receives the reduction
+# --------------------------------------------------------------------- #
+
+def _distribute(v: Vector, np_fn, empty) -> Vector:
+    """Reduce then broadcast — the paper implements ``+-distribute`` as a
+    ``+-scan`` followed by a backward copy, which is one reduce-shaped step
+    plus one broadcast-shaped step on every model."""
+    v.machine.charge_reduce(len(v))
+    v.machine.charge_broadcast(len(v))
+    if len(v) == 0:
+        return Vector(v.machine, np.empty(0, dtype=v.dtype))
+    total = np_fn(v.data)
+    return Vector(v.machine, np.full(len(v), total, dtype=v.dtype))
+
+
+def plus_distribute(v: Vector) -> Vector:
+    """Every element receives the sum of all elements (Figure 1)."""
+    return _distribute(v, np.sum, 0)
+
+
+def max_distribute(v: Vector) -> Vector:
+    """Every element receives the maximum of all elements."""
+    return _distribute(v, np.max, None)
+
+
+def min_distribute(v: Vector) -> Vector:
+    """Every element receives the minimum of all elements."""
+    return _distribute(v, np.min, None)
+
+
+def or_distribute(v: Vector) -> Vector:
+    return _distribute(v, np.any, None)
+
+
+def and_distribute(v: Vector) -> Vector:
+    return _distribute(v, np.all, None)

@@ -1,0 +1,434 @@
+"""Segmented vectors and segmented scan operations (Section 2.3).
+
+A segmented vector is an ordinary vector plus a parallel boolean vector of
+*segment flags*; each ``True`` flag marks the first element of a segment
+(Figure 4).  Segmented scans restart at every segment boundary, letting one
+program step operate independently over many sets at once — the engine behind
+the paper's quicksort, graph representation, and MST.
+
+Every segmented operation here can be built from **at most two unsegmented
+primitive scans** (Section 3.4, Figure 16): a segmented ``max-scan`` appends
+the segment number to each value before an unsegmented ``max-scan``; a
+segmented ``+-scan`` subtracts a copied segment-head offset from an
+unsegmented ``+-scan``.  The functions in this module compute results with
+vectorized NumPy using exactly that construction (with the bit-append
+replaced by a rank encoding so arbitrary signed/float values cannot
+overflow), and charge the machine the construction's primitive cost.
+The bit-literal constructions are in :mod:`repro.core.simulate` and are
+tested to agree element-for-element.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.model import Machine
+from . import scans
+from .vector import Vector
+
+__all__ = [
+    "check_segment_flags",
+    "segment_ids",
+    "segment_heads",
+    "segment_lengths",
+    "flags_from_lengths",
+    "seg_plus_scan",
+    "seg_max_scan",
+    "seg_min_scan",
+    "seg_or_scan",
+    "seg_and_scan",
+    "seg_back_plus_scan",
+    "seg_back_max_scan",
+    "seg_back_min_scan",
+    "seg_copy",
+    "seg_back_copy",
+    "seg_enumerate",
+    "seg_index",
+    "seg_plus_distribute",
+    "seg_max_distribute",
+    "seg_min_distribute",
+    "seg_or_distribute",
+    "seg_and_distribute",
+    "seg_split",
+    "seg_split3",
+    "seg_flag_from_neighbor_change",
+]
+
+
+# --------------------------------------------------------------------- #
+# Structure helpers
+# --------------------------------------------------------------------- #
+
+def check_segment_flags(values: Vector, seg_flags: Vector) -> None:
+    """Validate a (values, segment-flags) pair: same machine, same length,
+    boolean flags, and the first element starts a segment."""
+    if seg_flags.machine is not values.machine:
+        raise ValueError("values and segment flags live on different machines")
+    if len(seg_flags) != len(values):
+        raise ValueError(
+            f"segment flags length {len(seg_flags)} != values length {len(values)}"
+        )
+    if seg_flags.dtype != np.bool_:
+        raise TypeError("segment flags must be boolean")
+    if len(seg_flags) and not seg_flags.data[0]:
+        raise ValueError("the first element must begin a segment (flags[0] is False)")
+
+
+def _charge(machine: Machine, n: int, *, n_scans: int, n_ew: int) -> None:
+    """Charge the cost of a segmented operation's Section-3.4 construction."""
+    for _ in range(n_scans):
+        machine.charge_scan(n)
+    for _ in range(n_ew):
+        machine.charge_elementwise(n)
+
+
+def _charge_distribute(machine: Machine, n: int) -> None:
+    """Charge one per-segment reduce-and-spread.
+
+    On the scan model this is the Section-3.4 scan construction; on an
+    extended CRCW it is one combining write into the segment's cell plus a
+    concurrent read back (the O(1) step Table 1's CRCW column uses); plain
+    P-RAMs pay the scan tree.
+    """
+    caps = machine.capabilities
+    if caps.combining_write and caps.concurrent_read:
+        machine.counter.charge("combine_write", machine._block(n))
+        machine.charge_broadcast(n)
+        machine.charge_elementwise(n)
+    else:
+        _charge(machine, n, n_scans=4, n_ew=5)
+
+
+def _charge_copy(machine: Machine, n: int) -> None:
+    """Charge one per-segment head broadcast: a write plus a concurrent
+    read on CREW/CRCW, the segmented max-scan construction elsewhere."""
+    if machine.capabilities.concurrent_read:
+        machine.counter.charge("memory", machine._block(n))
+        machine.charge_broadcast(n)
+    else:
+        _charge(machine, n, n_scans=2, n_ew=3)
+
+
+def _seg_ids(sf: np.ndarray) -> np.ndarray:
+    """0-based segment number of each element (inclusive +-scan of flags, -1)."""
+    return np.cumsum(sf) - 1
+
+
+def segment_ids(seg_flags: Vector) -> Vector:
+    """The segment number of each element (one scan + one elementwise step)."""
+    _charge(seg_flags.machine, len(seg_flags), n_scans=1, n_ew=1)
+    return Vector(seg_flags.machine, _seg_ids(seg_flags.data).astype(np.int64))
+
+
+def segment_heads(seg_flags: Vector) -> np.ndarray:
+    """Indices of segment heads (host-side helper; no steps charged)."""
+    return np.flatnonzero(seg_flags.data)
+
+
+def segment_lengths(seg_flags: Vector) -> np.ndarray:
+    """Length of each segment (host-side helper; no steps charged)."""
+    heads = np.flatnonzero(seg_flags.data)
+    return np.diff(np.append(heads, len(seg_flags)))
+
+
+def flags_from_lengths(machine: Machine, lengths) -> Vector:
+    """Build segment flags for segments of the given lengths.
+
+    This is the allocation pattern of Section 2.4 / Figure 8: a ``+-scan`` of
+    the lengths gives head pointers, and a flag is permuted to each head.
+    Charged as one scan plus one permute.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if (lengths < 0).any():
+        raise ValueError("segment lengths must be non-negative")
+    total = int(lengths.sum())
+    machine.charge_scan(max(len(lengths), 1))
+    machine.charge_permute(max(total, 1))
+    flags = np.zeros(total, dtype=bool)
+    heads = np.cumsum(lengths) - lengths
+    flags[heads[lengths > 0]] = True
+    return Vector(machine, flags)
+
+
+# --------------------------------------------------------------------- #
+# Core segmented scans
+# --------------------------------------------------------------------- #
+
+def seg_plus_scan(values: Vector, seg_flags: Vector) -> Vector:
+    """Segmented exclusive ``+-scan`` (Figure 4).
+
+    Construction (Section 3.4): unsegmented ``+-scan``, copy the scan value
+    at each segment head across the segment, subtract.  Charged as three
+    scans (the copy is itself a segmented max-scan) plus elementwise steps.
+    """
+    check_segment_flags(values, seg_flags)
+    _charge(values.machine, len(values), n_scans=3, n_ew=4)
+    v, sf = values.data, seg_flags.data
+    out_dtype = np.int64 if v.dtype == np.bool_ else v.dtype
+    v = v.astype(out_dtype, copy=False)
+    ex = np.concatenate(([0], np.cumsum(v)[:-1])).astype(out_dtype)
+    if len(v) == 0:
+        return Vector(values.machine, ex)
+    s = _seg_ids(sf)
+    head_offsets = ex[np.flatnonzero(sf)]
+    return Vector(values.machine, ex - head_offsets[s])
+
+
+def _seg_running_extreme(v: np.ndarray, sf: np.ndarray, identity, *, is_max: bool) -> np.ndarray:
+    """Exclusive per-segment running max (or min) via the Figure 16 method:
+    encode (segment, rank-of-value), take one unsegmented running max,
+    decode.  Works for any comparable dtype because ranks, not raw bits,
+    carry the value."""
+    n = len(v)
+    if n == 0:
+        return v.copy()
+    order = np.argsort(v, kind="stable")
+    if not is_max:
+        order = order[::-1]  # higher rank now means smaller value
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = np.arange(n)
+    s = _seg_ids(sf)
+    code = s * n + rank
+    run = np.empty(n, dtype=np.int64)
+    run[0] = -1
+    np.maximum.accumulate(code[:-1], out=run[1:])
+    valid = (run >= 0) & (run // n == s)
+    decoded_pos = order[np.clip(run % n, 0, n - 1)]
+    out = np.where(valid, v[decoded_pos], np.asarray(identity, dtype=v.dtype))
+    return out.astype(v.dtype, copy=False)
+
+
+def seg_max_scan(values: Vector, seg_flags: Vector, identity=None) -> Vector:
+    """Segmented exclusive ``max-scan`` (Figure 4 / Figure 16).
+
+    Charged as the paper's construction: one scan to number the segments,
+    one unsegmented ``max-scan`` on the appended keys, plus the append /
+    extract elementwise steps.
+    """
+    check_segment_flags(values, seg_flags)
+    _charge(values.machine, len(values), n_scans=2, n_ew=3)
+    if identity is None:
+        identity = scans.max_identity(values.dtype)
+    out = _seg_running_extreme(values.data, seg_flags.data, identity, is_max=True)
+    return Vector(values.machine, out)
+
+
+def seg_min_scan(values: Vector, seg_flags: Vector, identity=None) -> Vector:
+    """Segmented exclusive ``min-scan`` (inverted segmented ``max-scan``)."""
+    check_segment_flags(values, seg_flags)
+    _charge(values.machine, len(values), n_scans=2, n_ew=5)
+    if identity is None:
+        identity = scans.min_identity(values.dtype)
+    out = _seg_running_extreme(values.data, seg_flags.data, identity, is_max=False)
+    return Vector(values.machine, out)
+
+
+def seg_or_scan(values: Vector, seg_flags: Vector) -> Vector:
+    """Segmented exclusive ``or-scan`` (one-bit segmented ``max-scan``)."""
+    v = values.astype(np.int64)
+    return seg_max_scan(v, seg_flags, identity=0) > 0
+
+
+def seg_and_scan(values: Vector, seg_flags: Vector) -> Vector:
+    """Segmented exclusive ``and-scan`` (one-bit segmented ``min-scan``)."""
+    v = values.astype(np.int64)
+    return seg_min_scan(v, seg_flags, identity=1) > 0
+
+
+# --------------------------------------------------------------------- #
+# Backward segmented scans
+# --------------------------------------------------------------------- #
+
+def _reverse_segment_flags(sf: np.ndarray) -> np.ndarray:
+    """Segment-begin flags of the reversed vector: an element begins a
+    reversed segment iff it *ends* a segment in the forward order."""
+    n = len(sf)
+    ends = np.empty(n, dtype=bool)
+    if n:
+        ends[:-1] = sf[1:]
+        ends[-1] = True
+    return ends[::-1]
+
+
+def seg_back_plus_scan(values: Vector, seg_flags: Vector) -> Vector:
+    """Segmented exclusive ``+-scan`` running from each segment's end to its
+    start (two extra permute steps for the reversals)."""
+    check_segment_flags(values, seg_flags)
+    m = values.machine
+    m.charge_permute(len(values))
+    rsf = Vector(m, _reverse_segment_flags(seg_flags.data))
+    rv = Vector(m, values.data[::-1])
+    out = seg_plus_scan(rv, rsf)
+    m.charge_permute(len(values))
+    return Vector(m, out.data[::-1])
+
+
+def seg_back_max_scan(values: Vector, seg_flags: Vector, identity=None) -> Vector:
+    """Backward segmented ``max-scan``."""
+    check_segment_flags(values, seg_flags)
+    m = values.machine
+    m.charge_permute(len(values))
+    rsf = Vector(m, _reverse_segment_flags(seg_flags.data))
+    rv = Vector(m, values.data[::-1])
+    out = seg_max_scan(rv, rsf, identity=identity)
+    m.charge_permute(len(values))
+    return Vector(m, out.data[::-1])
+
+
+def seg_back_min_scan(values: Vector, seg_flags: Vector, identity=None) -> Vector:
+    """Backward segmented ``min-scan``."""
+    check_segment_flags(values, seg_flags)
+    m = values.machine
+    m.charge_permute(len(values))
+    rsf = Vector(m, _reverse_segment_flags(seg_flags.data))
+    rv = Vector(m, values.data[::-1])
+    out = seg_min_scan(rv, rsf, identity=identity)
+    m.charge_permute(len(values))
+    return Vector(m, out.data[::-1])
+
+
+# --------------------------------------------------------------------- #
+# Segmented copy / enumerate / distribute (Section 2.2 within segments)
+# --------------------------------------------------------------------- #
+
+def seg_copy(values: Vector, seg_flags: Vector) -> Vector:
+    """Copy each segment's first element across its segment (the segmented
+    ``copy`` of Section 2.3.1, built on a segmented ``max-scan``)."""
+    check_segment_flags(values, seg_flags)
+    _charge_copy(values.machine, len(values))
+    v, sf = values.data, seg_flags.data
+    if len(v) == 0:
+        return Vector(values.machine, v.copy())
+    s = _seg_ids(sf)
+    return Vector(values.machine, v[np.flatnonzero(sf)][s])
+
+
+def seg_back_copy(values: Vector, seg_flags: Vector) -> Vector:
+    """Copy each segment's *last* element across its segment (a backward
+    segmented copy, as used by ``+-distribute``)."""
+    check_segment_flags(values, seg_flags)
+    _charge_copy(values.machine, len(values))
+    v, sf = values.data, seg_flags.data
+    if len(v) == 0:
+        return Vector(values.machine, v.copy())
+    s = _seg_ids(sf)
+    heads = np.flatnonzero(sf)
+    tails = np.append(heads[1:], len(v)) - 1
+    return Vector(values.machine, v[tails][s])
+
+
+def seg_enumerate(flags: Vector, seg_flags: Vector) -> Vector:
+    """Number the ``True`` elements within each segment, starting at 0
+    (segmented version of Figure 1's ``enumerate``)."""
+    return seg_plus_scan(flags.astype(np.int64), seg_flags)
+
+
+def seg_index(seg_flags: Vector) -> Vector:
+    """Each element's offset within its segment (a segmented ``+-scan`` of
+    all ones)."""
+    ones = Vector(seg_flags.machine, np.ones(len(seg_flags), dtype=np.int64))
+    seg_flags.machine.charge_elementwise(len(seg_flags))
+    return seg_plus_scan(ones, seg_flags)
+
+
+def _seg_distribute(values: Vector, seg_flags: Vector, reduceat_fn) -> Vector:
+    """Per-segment reduction distributed to every element of the segment:
+    one segmented scan + one segmented copy worth of steps."""
+    check_segment_flags(values, seg_flags)
+    _charge_distribute(values.machine, len(values))
+    v, sf = values.data, seg_flags.data
+    if len(v) == 0:
+        return Vector(values.machine, v.copy())
+    heads = np.flatnonzero(sf)
+    s = _seg_ids(sf)
+    per_segment = reduceat_fn(v, heads)
+    return Vector(values.machine, per_segment[s].astype(v.dtype, copy=False))
+
+
+def seg_plus_distribute(values: Vector, seg_flags: Vector) -> Vector:
+    """Every element receives the sum of its segment."""
+    return _seg_distribute(values, seg_flags, np.add.reduceat)
+
+
+def seg_max_distribute(values: Vector, seg_flags: Vector) -> Vector:
+    """Every element receives the maximum of its segment."""
+    return _seg_distribute(values, seg_flags, np.maximum.reduceat)
+
+
+def seg_min_distribute(values: Vector, seg_flags: Vector) -> Vector:
+    """Every element receives the minimum of its segment (used by the MST's
+    ``min-distribute`` over edge weights)."""
+    return _seg_distribute(values, seg_flags, np.minimum.reduceat)
+
+
+def seg_or_distribute(values: Vector, seg_flags: Vector) -> Vector:
+    return _seg_distribute(values, seg_flags, np.logical_or.reduceat)
+
+
+def seg_and_distribute(values: Vector, seg_flags: Vector) -> Vector:
+    """Every element receives the AND of its segment (used by quicksort's
+    sortedness check)."""
+    return _seg_distribute(values, seg_flags, np.logical_and.reduceat)
+
+
+# --------------------------------------------------------------------- #
+# Segmented split (the engine of quicksort, Section 2.3.1)
+# --------------------------------------------------------------------- #
+
+def seg_split(values: Vector, flags: Vector, seg_flags: Vector) -> Vector:
+    """Segmented ``split``: within each segment, pack ``False`` elements to
+    the bottom and ``True`` elements to the top, stably (Section 2.3.1).
+
+    Built from a segmented enumerate for each side, a segmented copy of each
+    segment's offset, and one permute — all O(1) program steps.
+    """
+    check_segment_flags(values, seg_flags)
+    m = values.machine
+    not_flags = ~flags
+    i_down = seg_enumerate(not_flags, seg_flags)
+    # within-segment index of True elements, counted from the segment top
+    n_false = seg_plus_distribute(not_flags.astype(np.int64), seg_flags)
+    i_up_rank = seg_enumerate(flags, seg_flags)
+    i_up = n_false + i_up_rank
+    local = flags.where(i_up, i_down)
+    # global offset of each segment start
+    head_pos = seg_copy(Vector(m, np.arange(len(values), dtype=np.int64)), seg_flags)
+    index = local + head_pos
+    return values.permute(index)
+
+
+def seg_split3(values: Vector, lesser: Vector, equal: Vector, seg_flags: Vector) -> Vector:
+    """Three-way segmented split: within each segment pack elements flagged
+    ``lesser`` to the bottom, ``equal`` to the middle and the rest to the
+    top, stably — the quicksort split of Section 2.3.1.
+
+    A constant number of segmented enumerates / distributes / copies plus
+    one permute.
+    """
+    check_segment_flags(values, seg_flags)
+    m = values.machine
+    greater = ~(lesser | equal)
+    n_less = seg_plus_distribute(lesser.astype(np.int64), seg_flags)
+    n_eq = seg_plus_distribute(equal.astype(np.int64), seg_flags)
+    i_less = seg_enumerate(lesser, seg_flags)
+    i_eq = seg_enumerate(equal, seg_flags) + n_less
+    i_gt = seg_enumerate(greater, seg_flags) + n_less + n_eq
+    local = lesser.where(i_less, equal.where(i_eq, i_gt))
+    head_pos = seg_copy(Vector(m, np.arange(len(values), dtype=np.int64)), seg_flags)
+    return values.permute(local + head_pos)
+
+
+def seg_flag_from_neighbor_change(values: Vector, seg_flags: Vector) -> Vector:
+    """New segment flags marking positions whose value differs from the
+    previous element's (within a segment) — Step 4 of quicksort: knowing the
+    pivot comparison class of each element, a new segment begins wherever the
+    class changes.  Old segment boundaries are kept."""
+    check_segment_flags(values, seg_flags)
+    m = values.machine
+    m.charge_permute(len(values))  # shift by one: a send to the right neighbor
+    m.charge_elementwise(len(values))
+    v, sf = values.data, seg_flags.data
+    changed = np.empty(len(v), dtype=bool)
+    if len(v):
+        changed[0] = True
+        changed[1:] = v[1:] != v[:-1]
+    return Vector(m, changed | sf)

@@ -1,0 +1,348 @@
+"""The machine-owned ``Vector``: the paper's unit of parallel data.
+
+All algorithm data lives in vectors (one-dimensional arrays) in the shared
+memory, with one (virtual) processor per element (Section 2.1).  A
+:class:`Vector` couples a NumPy array to the :class:`~repro.machine.Machine`
+it lives on; every operation both *computes* the result (vectorized NumPy)
+and *charges* the machine the program steps the operation would cost on that
+model.
+
+Vectors are immutable: operations return new vectors, and the underlying
+buffer is marked read-only, so accidental aliasing cannot corrupt step
+accounting or results.
+"""
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from ..machine.model import CapabilityError, Machine
+
+__all__ = ["Vector"]
+
+Scalar = Union[int, float, bool, np.integer, np.floating, np.bool_]
+
+
+class Vector:
+    """A one-dimensional parallel vector owned by a machine.
+
+    Parameters
+    ----------
+    machine:
+        The machine charged for operations on this vector.
+    data:
+        Any 1-D array-like.  The array is copied (or made read-only in
+        place when already owned) so the vector is immutable.
+    """
+
+    __slots__ = ("machine", "_data")
+
+    def __init__(self, machine: Machine, data) -> None:
+        arr = np.array(data, copy=True)
+        if arr.ndim != 1:
+            raise ValueError(f"Vector must be 1-D, got shape {arr.shape}")
+        arr.setflags(write=False)
+        self.machine = machine
+        self._data = arr
+
+    # ------------------------------------------------------------------ #
+    # Introspection (free: no machine steps)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def data(self) -> np.ndarray:
+        """The read-only underlying array (no copy)."""
+        return self._data
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._data.dtype
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def to_array(self) -> np.ndarray:
+        """A mutable copy of the contents."""
+        return self._data.copy()
+
+    def to_list(self) -> list:
+        return self._data.tolist()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Vector({self._data.tolist()!r})"
+
+    def __eq__(self, other) -> "Vector":  # type: ignore[override]
+        return self._binary(other, np.equal, dtype=bool)
+
+    def __ne__(self, other) -> "Vector":  # type: ignore[override]
+        return self._binary(other, np.not_equal, dtype=bool)
+
+    def __hash__(self):  # vectors are containers, not keys
+        raise TypeError("Vector is unhashable")
+
+    def _wrap(self, arr: np.ndarray) -> "Vector":
+        return Vector(self.machine, arr)
+
+    def _check_same_machine(self, other: "Vector") -> None:
+        if other.machine is not self.machine:
+            raise ValueError("vectors live on different machines")
+        if len(other) != len(self):
+            raise ValueError(f"length mismatch: {len(self)} vs {len(other)}")
+
+    # ------------------------------------------------------------------ #
+    # Elementwise operations (one program step each)
+    # ------------------------------------------------------------------ #
+
+    def _binary(self, other, func: Callable, dtype=None) -> "Vector":
+        if isinstance(other, Vector):
+            self._check_same_machine(other)
+            rhs = other._data
+        else:
+            rhs = other  # an immediate constant held in the instruction: free
+        self.machine.charge_elementwise(len(self))
+        out = func(self._data, rhs)
+        if dtype is not None:
+            out = out.astype(dtype)
+        return self._wrap(out)
+
+    def _unary(self, func: Callable, dtype=None) -> "Vector":
+        self.machine.charge_elementwise(len(self))
+        out = func(self._data)
+        if dtype is not None:
+            out = out.astype(dtype)
+        return self._wrap(out)
+
+    def __add__(self, other) -> "Vector":
+        return self._binary(other, np.add)
+
+    def __radd__(self, other) -> "Vector":
+        return self._binary(other, lambda a, b: np.add(b, a))
+
+    def __sub__(self, other) -> "Vector":
+        return self._binary(other, np.subtract)
+
+    def __rsub__(self, other) -> "Vector":
+        return self._binary(other, lambda a, b: np.subtract(b, a))
+
+    def __mul__(self, other) -> "Vector":
+        return self._binary(other, np.multiply)
+
+    def __rmul__(self, other) -> "Vector":
+        return self._binary(other, lambda a, b: np.multiply(b, a))
+
+    def __truediv__(self, other) -> "Vector":
+        return self._binary(other, np.true_divide)
+
+    def __floordiv__(self, other) -> "Vector":
+        return self._binary(other, np.floor_divide)
+
+    def __mod__(self, other) -> "Vector":
+        return self._binary(other, np.mod)
+
+    def __neg__(self) -> "Vector":
+        return self._unary(np.negative)
+
+    def __abs__(self) -> "Vector":
+        return self._unary(np.abs)
+
+    def __lt__(self, other) -> "Vector":
+        return self._binary(other, np.less, dtype=bool)
+
+    def __le__(self, other) -> "Vector":
+        return self._binary(other, np.less_equal, dtype=bool)
+
+    def __gt__(self, other) -> "Vector":
+        return self._binary(other, np.greater, dtype=bool)
+
+    def __ge__(self, other) -> "Vector":
+        return self._binary(other, np.greater_equal, dtype=bool)
+
+    def __and__(self, other) -> "Vector":
+        if self.dtype == np.bool_:
+            return self._binary(other, np.logical_and, dtype=bool)
+        return self._binary(other, np.bitwise_and)
+
+    def __or__(self, other) -> "Vector":
+        if self.dtype == np.bool_:
+            return self._binary(other, np.logical_or, dtype=bool)
+        return self._binary(other, np.bitwise_or)
+
+    def __xor__(self, other) -> "Vector":
+        if self.dtype == np.bool_:
+            return self._binary(other, np.logical_xor, dtype=bool)
+        return self._binary(other, np.bitwise_xor)
+
+    def __invert__(self) -> "Vector":
+        if self.dtype == np.bool_:
+            return self._unary(np.logical_not, dtype=bool)
+        return self._unary(np.bitwise_not)
+
+    def __rshift__(self, other) -> "Vector":
+        return self._binary(other, np.right_shift)
+
+    def __lshift__(self, other) -> "Vector":
+        return self._binary(other, np.left_shift)
+
+    def minimum(self, other) -> "Vector":
+        """Elementwise minimum with a vector or scalar."""
+        return self._binary(other, np.minimum)
+
+    def maximum(self, other) -> "Vector":
+        """Elementwise maximum with a vector or scalar."""
+        return self._binary(other, np.maximum)
+
+    def bit(self, i: int) -> "Vector":
+        """The paper's ``A<i>``: extract bit ``i`` of each element as a flag."""
+        return self._unary(lambda a: (a >> i) & 1, dtype=bool)
+
+    def astype(self, dtype) -> "Vector":
+        """Convert element type (e.g. flags to 0/1 integers); one step."""
+        return self._unary(lambda a: a.astype(dtype))
+
+    def where(self, if_true: Union["Vector", Scalar], if_false: Union["Vector", Scalar]) -> "Vector":
+        """``if self then if_true else if_false`` elementwise; ``self`` must
+        be a flag vector.  One program step."""
+        if self.dtype != np.bool_:
+            raise TypeError("where() requires a boolean flag vector")
+        t = if_true._data if isinstance(if_true, Vector) else if_true
+        f = if_false._data if isinstance(if_false, Vector) else if_false
+        if isinstance(if_true, Vector):
+            self._check_same_machine(if_true)
+        if isinstance(if_false, Vector):
+            self._check_same_machine(if_false)
+        self.machine.charge_elementwise(len(self))
+        return self._wrap(np.where(self._data, t, f))
+
+    # ------------------------------------------------------------------ #
+    # Communication operations
+    # ------------------------------------------------------------------ #
+
+    def permute(self, index: "Vector", *, length: Optional[int] = None,
+                default: Scalar = 0) -> "Vector":
+        """``permute(A, I)``: write each element to position ``index[i]``.
+
+        Indices must be unique (an exclusive write; Section 2.1).  The
+        destination may be longer than the source (``length``), in which case
+        unwritten cells hold ``default``.  One program step.
+        """
+        self._check_same_machine(index)
+        idx = index._data
+        n_out = length if length is not None else len(self)
+        if len(idx) and (idx.min() < 0 or idx.max() >= n_out):
+            raise IndexError(
+                f"permute index out of range [0, {n_out}): "
+                f"[{idx.min() if len(idx) else ''}, {idx.max() if len(idx) else ''}]"
+            )
+        if len(np.unique(idx)) != len(idx):
+            raise CapabilityError(
+                "permute requires unique indices (exclusive write); use "
+                "combine_write for colliding destinations"
+            )
+        self.machine.charge_permute(max(len(self), n_out))
+        out = np.full(n_out, default, dtype=self._data.dtype)
+        out[idx] = self._data
+        return self._wrap(out)
+
+    def gather(self, index: "Vector") -> "Vector":
+        """``A[I]``: each processor reads the cell named by its index.
+
+        Duplicate indices are a concurrent read — illegal on EREW and scan
+        machines (a :class:`CapabilityError`).  One program step.
+        """
+        self._check_same_machine_any_length(index)
+        idx = index._data
+        if len(idx) and (idx.min() < 0 or idx.max() >= len(self)):
+            raise IndexError("gather index out of range")
+        unique = len(np.unique(idx)) == len(idx)
+        self.machine.charge_gather(max(len(self), len(idx)), unique=unique)
+        return self._wrap(self._data[idx])
+
+    def _check_same_machine_any_length(self, other: "Vector") -> None:
+        if other.machine is not self.machine:
+            raise ValueError("vectors live on different machines")
+
+    def combine_write(self, index: "Vector", *, length: int, op: str = "min",
+                      default: Scalar = 0) -> "Vector":
+        """Scatter with colliding destinations, combining with ``op``.
+
+        ``op`` is ``"min"``, ``"max"``, ``"sum"`` or ``"any"`` (the paper's
+        "one of the values gets written").  This is the extended-CRCW write;
+        on other models it raises unless the machine was created with
+        ``allow_concurrent_write=True``.  One program step.
+        """
+        self._check_same_machine_any_length(index)
+        idx = index._data
+        if len(idx) != len(self):
+            raise ValueError("index vector must match data vector length")
+        if len(idx) and (idx.min() < 0 or idx.max() >= length):
+            raise IndexError("combine_write index out of range")
+        self.machine.charge_combine_write(max(len(self), length))
+        out = np.full(length, default, dtype=self._data.dtype)
+        if op == "min":
+            # initialize to +inf-like, reduce, restore default where untouched
+            touched = np.zeros(length, dtype=bool)
+            touched[idx] = True
+            hi = np.iinfo(self._data.dtype).max if np.issubdtype(self._data.dtype, np.integer) else np.inf
+            tmp = np.full(length, hi, dtype=self._data.dtype)
+            np.minimum.at(tmp, idx, self._data)
+            out = np.where(touched, tmp, np.asarray(default, dtype=self._data.dtype))
+        elif op == "max":
+            touched = np.zeros(length, dtype=bool)
+            touched[idx] = True
+            lo = np.iinfo(self._data.dtype).min if np.issubdtype(self._data.dtype, np.integer) else -np.inf
+            tmp = np.full(length, lo, dtype=self._data.dtype)
+            np.maximum.at(tmp, idx, self._data)
+            out = np.where(touched, tmp, np.asarray(default, dtype=self._data.dtype))
+        elif op == "sum":
+            tmp = np.zeros(length, dtype=self._data.dtype)
+            np.add.at(tmp, idx, self._data)
+            out = tmp
+        elif op == "any":
+            out[idx] = self._data  # last writer wins: an arbitrary-winner write
+        else:
+            raise ValueError(f"unknown combine op {op!r}")
+        return self._wrap(out)
+
+    def reverse(self) -> "Vector":
+        """Read the vector in reverse processor order (used for backward
+        scans, Section 3.4).  One permutation step."""
+        self.machine.charge_permute(len(self))
+        return self._wrap(self._data[::-1])
+
+    def shift(self, k: int, fill: Scalar = 0) -> "Vector":
+        """Shift the vector ``k`` places toward higher indices (``k < 0``
+        shifts down); vacated cells hold ``fill``.
+
+        A shift is each processor sending its value to a fixed neighbor —
+        one permutation step.  This is the "look at the previous element"
+        idiom of the paper's quicksort sortedness check and segment-flag
+        insertion.
+        """
+        self.machine.charge_permute(len(self))
+        n = len(self)
+        out = np.full(n, fill, dtype=self._data.dtype)
+        if k >= 0:
+            if k < n:
+                out[k:] = self._data[: n - k]
+        else:
+            if -k < n:
+                out[: n + k] = self._data[-k:]
+        return self._wrap(out)
+
+    # ------------------------------------------------------------------ #
+    # Single-cell access (one memory reference)
+    # ------------------------------------------------------------------ #
+
+    def get(self, i: int):
+        """Read one cell (a single memory reference; one step)."""
+        self.machine.counter.charge("memory", 1)
+        return self._data[int(i)].item()
+
+    def first(self):
+        """Read the first element (one memory reference)."""
+        return self.get(0)
+
+    def last(self):
+        """Read the last element (one memory reference)."""
+        return self.get(len(self) - 1)

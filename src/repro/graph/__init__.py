@@ -1,0 +1,17 @@
+"""The segmented graph representation and star merging (Section 2.3.2–2.3.3).
+
+* :class:`repro.graph.SegmentedGraph` — Figure 6's representation.
+* :func:`repro.graph.from_edges` — build it from an edge list by radix sort.
+* :func:`repro.graph.star_merge` — Figure 7's O(1)-step star contraction.
+"""
+from .build import from_edges, random_connected_graph
+from .segmented_graph import SegmentedGraph
+from .star_merge import StarMergeResult, star_merge
+
+__all__ = [
+    "SegmentedGraph",
+    "StarMergeResult",
+    "from_edges",
+    "random_connected_graph",
+    "star_merge",
+]

@@ -1,0 +1,184 @@
+"""Star merging (Section 2.3.3, Figure 7): contract disjoint stars of
+vertices into single vertices while maintaining the segmented graph
+representation, in O(1) program steps for ``m`` edges.
+
+A *star* is a parent vertex plus child vertices, each child joined to the
+parent by a marked *star edge*.  The paper's four phases:
+
+1. **Open space** — each child passes its segment length across its star
+   edge; a segmented ``+-distribute`` sizes each parent's new segment and a
+   ``+-scan`` allocates it (we keep the parent's own star end too, so the
+   cross-pointers stay a valid involution until the deletion phase).
+2. **Permute the children in** — each child learns its offset in the parent
+   segment across the star edge, distributes it over its own slots, adds
+   its within-segment index, and one global permute moves everything.
+3. **Update cross-pointers** — each slot sends its new position to the
+   other end of its edge.
+4. **Delete internal edges** — edges whose two ends now share a segment
+   (the star edges themselves, plus any edge between merged vertices) are
+   packed away and the pointers updated once more.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import ops, scans, segmented
+from ..core.vector import Vector
+from .segmented_graph import SegmentedGraph
+
+__all__ = ["star_merge", "StarMergeResult"]
+
+
+@dataclass
+class StarMergeResult:
+    """Outcome of one star-merge step.
+
+    Attributes
+    ----------
+    graph:
+        The merged graph (may have zero slots if everything contracted).
+    merged_pairs:
+        ``(k, 2)`` array of ``(child_rep, parent_rep)`` original-vertex ids,
+        one row per child merged this step — the merge-forest edges used by
+        connected components.
+    retired_reps:
+        Original-vertex ids of parent vertices whose segments emptied (their
+        component is fully contracted).
+    """
+
+    graph: SegmentedGraph
+    merged_pairs: np.ndarray
+    retired_reps: np.ndarray
+
+
+def _validate_star(g: SegmentedGraph, star_edge: Vector, parent: Vector) -> None:
+    sf = g.seg_flags.data
+    cp = g.cross_pointers.data
+    star = star_edge.data
+    par = parent.data
+    if len(star) != g.num_slots:
+        raise ValueError("star_edge must be a per-slot flag vector")
+    if len(par) != g.num_vertices:
+        raise ValueError("parent must be a per-vertex flag vector")
+    seg_id = np.cumsum(sf) - 1
+    par_slot = par[seg_id]
+    # star flags agree across edge ends
+    if not np.array_equal(star[cp], star):
+        raise ValueError("star edge flags must mark both ends of each star edge")
+    # star edges join a child end to a parent end
+    if (par_slot[cp] == par_slot)[star].any():
+        raise ValueError("a star edge joins two parents or two children")
+    # each child has exactly one star edge
+    child_star = star & ~par_slot
+    per_vertex = np.bincount(seg_id[child_star], minlength=g.num_vertices)
+    child_vertices = ~par
+    if not np.array_equal(per_vertex[child_vertices], np.ones(child_vertices.sum())):
+        raise ValueError("every child vertex needs exactly one star edge")
+    if per_vertex[par].any():
+        raise ValueError("a parent vertex is marked as the child end of a star edge")
+
+
+def star_merge(g: SegmentedGraph, star_edge: Vector, parent: Vector,
+               *, validate: bool = True) -> StarMergeResult:
+    """Merge every star in ``g`` in O(1) program steps (see module doc)."""
+    m = g.machine
+    n = g.num_slots
+    if validate:
+        _validate_star(g, star_edge, parent)
+
+    seg = g.seg_flags
+    cp = g.cross_pointers
+    parent_slot = g.vertex_to_slots(parent)
+    child_slot = ~parent_slot
+
+    # ---- phase 1: open space ------------------------------------------ #
+    deg = g.slot_degrees()
+    deg_other = deg.permute(cp)  # the other end's vertex degree
+    needed = (parent_slot & star_edge).where(deg_other + 1, 1)
+    masked = parent_slot.where(needed, 0)
+    base = scans.plus_scan(masked)
+    total = scans.plus_reduce(masked)
+
+    # ---- phase 2: route every slot to its new position ----------------- #
+    # parent slots: non-star keep their cell; star slots sit after their
+    # child's block.  child slots: the parent's base crosses the star edge,
+    # is spread over the child's segment, and the within-segment index
+    # finishes the address.
+    new_pos_parent = star_edge.where(base + deg_other, base)
+    base_across = base.permute(cp)
+    child_claim = (child_slot & star_edge).where(base_across, -1)
+    child_base = segmented.seg_max_distribute(child_claim, seg)
+    child_new = child_base + segmented.seg_index(seg)
+    new_pos = parent_slot.where(new_pos_parent, child_new)
+
+    # the merged vertex id (the parent's old segment id) rides along so the
+    # new segment flags can be read off neighbor changes
+    vid = g.slot_vertex_ids()
+    vid_across = vid.permute(cp)
+    child_pvid = segmented.seg_max_distribute(
+        (child_slot & star_edge).where(vid_across, -1), seg)
+    pvid = parent_slot.where(vid, child_pvid)
+
+    new_vid = pvid.permute(new_pos, length=total)
+    moved_data = {k: v.permute(new_pos, length=total) for k, v in g.slot_data.items()}
+
+    # ---- phase 3: update the cross-pointers ---------------------------- #
+    other_new = new_pos.permute(cp)
+    cp_new = other_new.permute(new_pos, length=total)
+
+    # ---- phase 4: delete intra-segment edges --------------------------- #
+    other_vid = new_vid.permute(cp_new)
+    keep = other_vid != new_vid
+    final_idx = ops.enumerate_(keep)
+    kept = ops.count(keep)
+
+    if kept:
+        cp_routed = final_idx.gather(cp_new)  # where my other end will land
+        final_cp = ops.pack(cp_routed, keep)
+        final_vid = ops.pack(new_vid, keep)
+        final_data = {k: ops.pack(v, keep) for k, v in moved_data.items()}
+        m.charge_permute(kept)
+        m.charge_elementwise(kept)
+        fv = final_vid.data
+        sf_arr = np.empty(kept, dtype=bool)
+        sf_arr[0] = True
+        sf_arr[1:] = fv[1:] != fv[:-1]
+        final_sf = Vector(m, sf_arr)
+        head_vids = fv[np.flatnonzero(sf_arr)]
+        new_reps = g.vertex_reps[head_vids]
+    else:
+        final_cp = Vector(m, np.empty(0, dtype=np.int64))
+        final_sf = Vector(m, np.empty(0, dtype=bool))
+        final_data = {k: Vector(m, np.empty(0, dtype=v.dtype))
+                      for k, v in moved_data.items()}
+        head_vids = np.empty(0, dtype=np.int64)
+        new_reps = np.empty(0, dtype=np.int64)
+
+    # ---- host-side bookkeeping (uncharged) ------------------------------ #
+    sf_host = seg.data
+    seg_id = np.cumsum(sf_host) - 1
+    child_star_mask = star_edge.data & ~parent.data[seg_id]
+    child_vids = seg_id[child_star_mask]
+    parent_vids = seg_id[cp.data[child_star_mask]]
+    merged_pairs = np.column_stack(
+        (g.vertex_reps[child_vids], g.vertex_reps[parent_vids])
+    ) if child_vids.size else np.empty((0, 2), dtype=np.int64)
+
+    parent_ids = np.flatnonzero(parent.data)
+    surviving = set(head_vids.tolist())
+    retired = np.array(
+        [g.vertex_reps[p] for p in parent_ids if p not in surviving],
+        dtype=np.int64,
+    )
+
+    merged = SegmentedGraph(
+        machine=m,
+        seg_flags=final_sf,
+        cross_pointers=final_cp,
+        slot_data=final_data,
+        vertex_reps=new_reps,
+    )
+    return StarMergeResult(graph=merged, merged_pairs=merged_pairs,
+                           retired_reps=retired)

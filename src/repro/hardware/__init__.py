@@ -1,0 +1,55 @@
+"""Logic-level hardware simulation: the paper's scan circuit and its
+comparison partners.
+
+* :mod:`repro.hardware.unit` — the Figure 15 sum state machine and FIFO.
+* :mod:`repro.hardware.tree` — the bit-pipelined tree scan (Figures 13–14).
+* :mod:`repro.hardware.bitonic_net` — a bit-serial bitonic sorting network.
+* :mod:`repro.hardware.router` — a bit-serial hypercube router (the cost of
+  an arbitrary memory reference).
+* :mod:`repro.hardware.analysis` — Tables 2 and 4 and the §3.3 example
+  system, from the circuits above.
+"""
+from .analysis import (
+    ExampleSystem,
+    bitonic_on_hypercube_cycles,
+    example_system,
+    scan_vs_memory,
+    sort_comparison,
+    split_radix_cycles,
+    wormhole_route_cycles,
+)
+from .bitonic_net import BitonicNetwork, bitonic_depth, bitonic_network_cycles
+from .router import HypercubeRouter, RouteStats, route_cycles_model
+from .segmented_tree import (
+    SegmentedTreeScanCircuit,
+    segmented_scan_cycles,
+    simulated_segmented_scan_cycles,
+)
+from .tree import MAX, PLUS, TreeScanCircuit, tree_scan_cycles
+from .unit import GateLevelSumStateMachine, ShiftRegister, SumStateMachine
+
+__all__ = [
+    "BitonicNetwork",
+    "ExampleSystem",
+    "GateLevelSumStateMachine",
+    "HypercubeRouter",
+    "MAX",
+    "PLUS",
+    "RouteStats",
+    "SegmentedTreeScanCircuit",
+    "ShiftRegister",
+    "SumStateMachine",
+    "TreeScanCircuit",
+    "bitonic_depth",
+    "bitonic_network_cycles",
+    "bitonic_on_hypercube_cycles",
+    "example_system",
+    "route_cycles_model",
+    "scan_vs_memory",
+    "segmented_scan_cycles",
+    "simulated_segmented_scan_cycles",
+    "sort_comparison",
+    "split_radix_cycles",
+    "tree_scan_cycles",
+    "wormhole_route_cycles",
+]

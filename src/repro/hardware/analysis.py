@@ -1,0 +1,154 @@
+"""Closed-form and simulated circuit comparisons: Tables 2 and 4 and the
+Section 3.3 example system.
+
+The paper's hardware claims come in two flavors:
+
+* **theoretical** — asymptotic depth/size/area of a scan circuit versus a
+  memory-reference (routing/sorting) network;
+* **actual** — bit-cycle counts on the Connection Machine.
+
+We do not have a CM-1/CM-2, so the "actual" numbers here come from the
+logic-level simulators in this package (:mod:`repro.hardware.tree`,
+:mod:`repro.hardware.bitonic_net`, :mod:`repro.hardware.router`) — the
+same circuits the paper describes, at the same sizes (closed forms where
+64K-leaf cycle-by-cycle simulation would be pointless busywork).  The
+*shape* of each comparison — scans no slower than memory references and far
+cheaper in hardware; split radix sort and bitonic sort within a small
+factor at CM scale — is what the benchmarks assert.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._util import ceil_log2
+from .bitonic_net import bitonic_depth, bitonic_network_cycles
+from .router import route_cycles_model
+from .tree import tree_scan_cycles
+
+__all__ = [
+    "wormhole_route_cycles",
+    "scan_vs_memory",
+    "split_radix_cycles",
+    "bitonic_on_hypercube_cycles",
+    "sort_comparison",
+    "example_system",
+    "ExampleSystem",
+]
+
+
+def wormhole_route_cycles(n: int, width: int, congestion: float = 2.0) -> int:
+    """Cut-through routing estimate for one permutation: path latency plus
+    the serial message, inflated by a congestion factor."""
+    lg = ceil_log2(max(n, 2))
+    return int(congestion * lg + (lg + width))
+
+
+# --------------------------------------------------------------------- #
+# Table 2: memory reference vs scan operation
+# --------------------------------------------------------------------- #
+
+def scan_vs_memory(n: int, width: int) -> dict[str, dict[str, float]]:
+    """Table 2's rows for an ``n``-processor machine and ``width``-bit
+    operands: theoretical scaling forms and the measured/modeled cycles and
+    hardware of our simulated circuits."""
+    lg = ceil_log2(max(n, 2))
+    scan_cycles = tree_scan_cycles(n, width)
+    mem_cycles_sf = route_cycles_model(n, width)
+    mem_cycles_wh = wormhole_route_cycles(n, width)
+    # hardware: the scan tree is n-1 units (2 state machines + a FIFO);
+    # the router is n·lg n single-bit links each with serial buffers
+    scan_hw = (n - 1) * (2 * 8 + 2 * lg)  # ~8 gates/SM + FIFO bits
+    router_hw = n * lg * (width + lg)     # per-link serial buffering
+    return {
+        "memory_reference": {
+            "vlsi_time": lg,                      # O(lg n) [29]
+            "vlsi_area": n * n / max(lg, 1),      # O(n^2 / lg n)
+            "circuit_depth": lg,                  # O(lg n) [1]
+            "circuit_size": n * lg,               # O(n lg n)
+            "bit_cycles_store_forward": mem_cycles_sf,
+            "bit_cycles_wormhole": mem_cycles_wh,
+            "hardware_units": router_hw,
+        },
+        "scan_operation": {
+            "vlsi_time": lg,                      # O(lg n) [30]
+            "vlsi_area": n,                       # O(n)
+            "circuit_depth": lg,                  # O(lg n) [15]
+            "circuit_size": n,                    # O(n)
+            "bit_cycles": scan_cycles,
+            "hardware_units": scan_hw,
+            "hardware_fraction_of_router": scan_hw / router_hw,
+        },
+    }
+
+
+# --------------------------------------------------------------------- #
+# Table 4: split radix sort vs bitonic sort
+# --------------------------------------------------------------------- #
+
+def split_radix_cycles(n: int, d: int) -> int:
+    """Bit cycles for the split radix sort on the simulated machine:
+    ``d`` passes, each two scan-circuit enumerates over ``lg n``-bit
+    indices plus one wormhole permutation route of the ``d``-bit keys
+    (+ ``lg n`` address bits)."""
+    lg = ceil_log2(max(n, 2))
+    per_pass = 2 * tree_scan_cycles(n, lg) + wormhole_route_cycles(n, d)
+    return d * per_pass
+
+
+def bitonic_on_hypercube_cycles(n: int, d: int) -> int:
+    """Bit cycles for the bitonic sort run the way the CM-1 ran it: each of
+    the ``lg n (lg n + 1)/2`` stages is a neighbor exchange of ``d``-bit
+    keys along one hypercube dimension (no dedicated comparator network)."""
+    return bitonic_depth(n) * (d + 2)
+
+
+def sort_comparison(n: int, d: int) -> dict[str, dict[str, int]]:
+    """Table 4 for ``n`` keys of ``d`` bits."""
+    lg = ceil_log2(max(n, 2))
+    return {
+        "split_radix": {
+            "theory_bit_time": d * lg,                      # O(d lg n)
+            "simulated_cycles": split_radix_cycles(n, d),
+        },
+        "bitonic": {
+            "theory_bit_time": d + lg * lg,                 # O(d + lg^2 n)
+            "simulated_cycles": bitonic_on_hypercube_cycles(n, d),
+            "dedicated_network_cycles": bitonic_network_cycles(n, d),
+        },
+    }
+
+
+# --------------------------------------------------------------------- #
+# Section 3.3: the example system
+# --------------------------------------------------------------------- #
+
+@dataclass
+class ExampleSystem:
+    """The paper's 4096-processor example machine."""
+
+    processors: int
+    boards: int
+    per_board_chip_state_machines: int
+    per_board_chip_shift_registers: int
+    scan_cycles_32bit: int
+    scan_time_at_100ns: float   # seconds
+    scan_time_at_10ns: float    # seconds
+
+
+def example_system(processors: int = 4096, per_board: int = 64,
+                   width: int = 32) -> ExampleSystem:
+    """Reproduce Section 3.3's arithmetic: a 64-leaf board chip is six tree
+    levels = 126 sum state machines + 63 shift registers; a 32-bit scan on
+    4096 processors takes ``~m + 2 lg n`` cycles — about 5 µs at a 100 ns
+    clock and 0.5 µs at the Monarch's 10 ns."""
+    chip_units = per_board - 1
+    cycles = tree_scan_cycles(processors, width)
+    return ExampleSystem(
+        processors=processors,
+        boards=processors // per_board,
+        per_board_chip_state_machines=2 * chip_units,
+        per_board_chip_shift_registers=chip_units,
+        scan_cycles_32bit=cycles,
+        scan_time_at_100ns=cycles * 100e-9,
+        scan_time_at_10ns=cycles * 10e-9,
+    )

@@ -1,0 +1,124 @@
+"""A bit-serial bitonic sorting network (Batcher), simulated clock by
+clock — the comparator-level counterpart of Table 4's bitonic column.
+
+Each comparator consumes two key streams most-significant-bit first,
+decides min/max on the first differing bit (two flip-flops of state, like
+the ``max-scan`` element of Figure 15), and drives registered outputs, so
+the whole network is a pipeline of ``lg n (lg n + 1)/2`` comparator layers:
+sorting ``n`` keys of ``d`` bits takes ``d + depth`` clocks — the paper's
+``O(d + lg² n)`` bit time for the bitonic sort.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import ceil_log2
+
+__all__ = ["BitonicNetwork", "bitonic_network_cycles", "bitonic_depth"]
+
+
+def bitonic_depth(n: int) -> int:
+    """Comparator layers in the bitonic sorting network for ``n`` keys."""
+    lg = ceil_log2(max(n, 2))
+    return lg * (lg + 1) // 2
+
+
+def bitonic_network_cycles(n: int, width: int) -> int:
+    """Clock cycles to sort ``n`` keys of ``width`` bits: pipeline depth
+    plus the bits streamed through."""
+    return width + bitonic_depth(n)
+
+
+class _Comparator:
+    """MSB-first serial compare-exchange with registered outputs."""
+
+    __slots__ = ("a_wins", "b_wins")
+
+    def __init__(self) -> None:
+        self.a_wins = False  # a proved greater
+        self.b_wins = False
+
+    def step(self, a: int, b: int) -> tuple[int, int]:
+        """Returns ``(min_bit, max_bit)`` for this clock."""
+        if self.a_wins:
+            return b, a
+        if self.b_wins:
+            return a, b
+        if a == b:
+            return a, a
+        if a > b:
+            self.a_wins = True
+            return b, a
+        self.b_wins = True
+        return a, b
+
+
+class BitonicNetwork:
+    """The full sorting network for ``n`` (a power of two) keys."""
+
+    def __init__(self, n: int, width: int) -> None:
+        if n < 2 or (n & (n - 1)) != 0:
+            raise ValueError("n must be a power of two >= 2")
+        self.n = n
+        self.width = width
+        self.lg = ceil_log2(n)
+        # each layer: list of (low_wire, high_wire, ascending)
+        self.layers: list[list[tuple[int, int, bool]]] = []
+        idx = np.arange(n)
+        for k_exp in range(1, self.lg + 1):
+            k = 1 << k_exp
+            for j_exp in range(k_exp - 1, -1, -1):
+                j = 1 << j_exp
+                layer = []
+                for i in range(n):
+                    partner = i ^ j
+                    if i < partner:
+                        ascending = (i & k) == 0
+                        layer.append((i, partner, ascending))
+                self.layers.append(layer)
+
+    @property
+    def depth(self) -> int:
+        return len(self.layers)
+
+    def num_comparators(self) -> int:
+        return sum(len(layer) for layer in self.layers)
+
+    def sort(self, values) -> tuple[np.ndarray, int]:
+        """Sort ``values`` (non-negative, < 2^width) ascending; returns
+        ``(sorted_values, clock_cycles)``."""
+        vals = np.asarray(values, dtype=np.int64)
+        if len(vals) != self.n:
+            raise ValueError(f"expected {self.n} values, got {len(vals)}")
+        if len(vals) and (vals.min() < 0 or vals.max() >= (1 << self.width)):
+            raise ValueError(f"values must lie in [0, 2^{self.width})")
+        n, w, depth = self.n, self.width, self.depth
+        comparators = [[_Comparator() for _ in layer] for layer in self.layers]
+        # registered wire values between layers; wires[s] feeds layer s
+        wires = np.zeros((depth + 1, n), dtype=np.int64)
+        out_bits = np.zeros((n, w), dtype=np.int64)
+        total = w + depth
+
+        for t in range(total):
+            prev = wires.copy()
+            # stage 0 inputs: the key bits, MSB first
+            if t < w:
+                wires[0] = (vals >> (w - 1 - t)) & 1
+            else:
+                wires[0] = 0
+            for s, layer in enumerate(self.layers):
+                inp = prev[s]
+                out = inp.copy()
+                for c, (lo, hi, asc) in enumerate(layer):
+                    mn, mx = comparators[s][c].step(int(inp[lo]), int(inp[hi]))
+                    if asc:
+                        out[lo], out[hi] = mn, mx
+                    else:
+                        out[lo], out[hi] = mx, mn
+                wires[s + 1] = out
+            bit_idx = t - depth
+            if 0 <= bit_idx < w:
+                out_bits[:, bit_idx] = wires[depth]
+
+        weights = 1 << np.arange(w - 1, -1, -1, dtype=np.int64)
+        return out_bits @ weights, total

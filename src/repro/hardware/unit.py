@@ -1,0 +1,151 @@
+"""The sum state machine of Figure 15 and the shift-register FIFO of
+Figure 14 — the two building blocks of the bit-pipelined tree scan unit.
+
+The state machine holds three D-type flip-flops (Q1, Q2 and an output
+register S) and a five-input combinational circuit.  With ``op = PLUS`` it
+is a serial adder consuming least-significant bits first (Q1 is the carry);
+with ``op = MAX`` it is a serial comparator consuming most-significant bits
+first (Q1 latches "A is greater", Q2 "B is greater", and while neither is
+set the inputs have been equal so either may be passed through).
+
+Outputs are *registered*: the bit produced by the logic appears on the
+output wire one clock later, which is what makes the tree pipeline run at
+one level per clock.
+"""
+from __future__ import annotations
+
+__all__ = ["SumStateMachine", "GateLevelSumStateMachine", "ShiftRegister",
+           "PLUS", "MAX"]
+
+PLUS = 0
+MAX = 1
+
+
+class SumStateMachine:
+    """One serial combine element (Figure 15)."""
+
+    __slots__ = ("op", "q1", "q2", "s")
+
+    def __init__(self, op: int) -> None:
+        if op not in (PLUS, MAX):
+            raise ValueError(f"op must be PLUS or MAX, got {op}")
+        self.op = op
+        self.clear()
+
+    def clear(self) -> None:
+        """The global clear signal: reset all three flip-flops."""
+        self.q1 = 0
+        self.q2 = 0
+        self.s = 0
+
+    def step(self, a: int, b: int) -> int:
+        """One clock edge: consume input bits ``a`` and ``b``, latch and
+        return the new output-register value (callers model the register's
+        one-cycle visibility delay by reading the previous cycle's wires)."""
+        a &= 1
+        b &= 1
+        if self.op == PLUS:
+            # serial adder: S = A ^ B ^ Q1, carry D1 = AB + AQ1 + BQ1
+            self.s = a ^ b ^ self.q1
+            self.q1 = (a & b) | (a & self.q1) | (b & self.q1)
+        else:
+            # serial maximum (MSB first):
+            #   S  = Q1·A + Q2·B + (Q̄1 Q̄2)(A + B)
+            #   D1 = Q1 + Q̄2·A·B̄        (A proved greater)
+            #   D2 = Q2 + Q̄1·Ā·B        (B proved greater)
+            if self.q1:
+                self.s = a
+            elif self.q2:
+                self.s = b
+            else:
+                self.s = a | b
+            q1, q2 = self.q1, self.q2
+            self.q1 = q1 | ((not q2) and a and not b)
+            self.q2 = q2 | ((not q1) and b and not a)
+            self.q1 = int(self.q1)
+            self.q2 = int(self.q2)
+        return self.s
+
+
+class GateLevelSumStateMachine:
+    """Figure 15 as written: three D flip-flops fed by a five-input
+    combinational circuit, with the ``Op`` signal selecting between the
+    serial adder and the serial comparator.
+
+    The printed equations in our source of the paper are OCR-garbled, so
+    these are the standard forms the prose describes, written as pure
+    gates (no branches — every output is a boolean expression of
+    ``Op, A, B, Q1, Q2``)::
+
+        S  = Op·(Q1·A + Q2·B + Q̄1·Q̄2·(A + B)) + Ōp·(A ⊕ B ⊕ Q1)
+        D1 = Op·(Q1 + Q̄2·A·B̄)                 + Ōp·(A·B + A·Q1 + B·Q1)
+        D2 = Op·(Q2 + Q̄1·Ā·B)
+
+    Exhaustively equivalent to :class:`SumStateMachine` (the test suite
+    checks all 2⁵ input/state combinations for both ops).
+    """
+
+    __slots__ = ("op", "q1", "q2", "s")
+
+    #: two-input gate count of the combinational cloud above (AND/OR/XOR/NOT
+    #: counted individually) — the "simple unit" claim of Section 3.2
+    GATE_COUNT = 21
+
+    def __init__(self, op: int) -> None:
+        if op not in (PLUS, MAX):
+            raise ValueError(f"op must be PLUS or MAX, got {op}")
+        self.op = op
+        self.clear()
+
+    def clear(self) -> None:
+        self.q1 = 0
+        self.q2 = 0
+        self.s = 0
+
+    def step(self, a: int, b: int) -> int:
+        op = self.op & 1
+        nop = op ^ 1
+        a &= 1
+        b &= 1
+        q1, q2 = self.q1, self.q2
+        nq1, nq2 = q1 ^ 1, q2 ^ 1
+        na, nb = a ^ 1, b ^ 1
+
+        s_max = (q1 & a) | (q2 & b) | (nq1 & nq2 & (a | b))
+        s_add = a ^ b ^ q1
+        d1_max = q1 | (nq2 & a & nb)
+        d1_add = (a & b) | (a & q1) | (b & q1)
+        d2_max = q2 | (nq1 & na & b)
+
+        self.s = (op & s_max) | (nop & s_add)
+        self.q1 = (op & d1_max) | (nop & d1_add)
+        self.q2 = op & d2_max
+        return self.s
+
+
+class ShiftRegister:
+    """A first-in-first-out single-bit shift register of fixed length.
+
+    Length 0 is a plain wire (the root's register in Figure 13: values
+    reaching the root reflect straight back down).
+    """
+
+    __slots__ = ("length", "bits")
+
+    def __init__(self, length: int) -> None:
+        if length < 0:
+            raise ValueError("shift register length must be >= 0")
+        self.length = length
+        self.bits = [0] * length
+
+    def clear(self) -> None:
+        self.bits = [0] * self.length
+
+    def shift(self, bit_in: int) -> int:
+        """One clock: push ``bit_in``, emit the bit pushed ``length`` clocks
+        ago (or ``bit_in`` itself when the register has length zero)."""
+        if self.length == 0:
+            return bit_in & 1
+        out = self.bits[-1]
+        self.bits = [bit_in & 1] + self.bits[:-1]
+        return out

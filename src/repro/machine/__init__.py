@@ -1,0 +1,21 @@
+"""Simulated P-RAM machine models with program-step accounting.
+
+See :class:`repro.machine.Machine` for the entry point.
+"""
+from .capabilities import CAPABILITIES, Capabilities, MODEL_NAMES
+from .counters import StepCounter, StepSnapshot
+from .model import CapabilityError, Machine
+from .trace import Trace, TraceEvent, trace
+
+__all__ = [
+    "CAPABILITIES",
+    "Capabilities",
+    "CapabilityError",
+    "MODEL_NAMES",
+    "Machine",
+    "StepCounter",
+    "StepSnapshot",
+    "Trace",
+    "TraceEvent",
+    "trace",
+]

@@ -1,0 +1,53 @@
+"""Capability sets for the P-RAM variants discussed in the paper.
+
+The paper compares four machine models:
+
+* **EREW** — exclusive read, exclusive write.  The weakest standard P-RAM.
+* **CREW** — concurrent read, exclusive write.
+* **CRCW** — concurrent read, concurrent write, *extended* (as in Section
+  2.3.3) so that colliding writes resolve to the minimum value / lowest
+  processor.  This is the model in Table 1's CRCW column.
+* **scan** — the paper's contribution: EREW plus unit-time ``+-scan`` and
+  ``max-scan`` primitives.
+
+Capabilities gate which primitive operations an algorithm may use on a given
+machine; costs are a separate concern handled by :mod:`repro.machine.model`.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Capabilities", "CAPABILITIES", "MODEL_NAMES"]
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What a machine model is allowed to do in one program step.
+
+    Attributes
+    ----------
+    concurrent_read:
+        May many processors read the same memory cell in one step (CREW/CRCW)?
+    concurrent_write:
+        May many processors write the same cell in one step (CRCW)?
+    combining_write:
+        Does a write collision combine values (minimum / lowest-numbered
+        processor wins) — the paper's extended CRCW used by the O(lg n) MST?
+    unit_scan:
+        Are ``+-scan`` and ``max-scan`` single program steps (the scan model)?
+    """
+
+    concurrent_read: bool
+    concurrent_write: bool
+    combining_write: bool
+    unit_scan: bool
+
+
+CAPABILITIES: dict[str, Capabilities] = {
+    "erew": Capabilities(False, False, False, False),
+    "crew": Capabilities(True, False, False, False),
+    "crcw": Capabilities(True, True, True, False),
+    "scan": Capabilities(False, False, False, True),
+}
+
+MODEL_NAMES = tuple(CAPABILITIES)

@@ -1,0 +1,82 @@
+"""Step accounting for simulated P-RAM machines.
+
+The paper measures algorithms in *program steps* (its replacement for "unit
+time"): one step is one primitive vector operation executed by all
+processors.  :class:`StepCounter` accumulates those charges, broken down by
+primitive kind, so benchmarks can report both totals and profiles
+(e.g. "how many scans did the MST use?").
+"""
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["StepCounter", "StepSnapshot"]
+
+
+@dataclass(frozen=True)
+class StepSnapshot:
+    """An immutable point-in-time reading of a :class:`StepCounter`."""
+
+    steps: int
+    by_kind: dict[str, int]
+    ops: int
+
+    def __sub__(self, other: "StepSnapshot") -> "StepSnapshot":
+        kinds = Counter(self.by_kind)
+        kinds.subtract(other.by_kind)
+        return StepSnapshot(
+            steps=self.steps - other.steps,
+            by_kind={k: v for k, v in kinds.items() if v},
+            ops=self.ops - other.ops,
+        )
+
+
+@dataclass
+class StepCounter:
+    """Accumulates program-step charges.
+
+    ``steps`` is the paper's step complexity; ``ops`` counts primitive
+    invocations regardless of their per-model cost (useful to verify that the
+    *same* algorithm issues the same primitives on every model and only the
+    charging differs).  ``listeners`` receive every ``(kind, cost)`` charge —
+    the hook behind :mod:`repro.machine.trace`.
+    """
+
+    steps: int = 0
+    ops: int = 0
+    by_kind: Counter = field(default_factory=Counter)
+    listeners: list = field(default_factory=list)
+
+    def charge(self, kind: str, cost: int) -> None:
+        if cost < 0:
+            raise ValueError(f"negative step charge for {kind!r}: {cost}")
+        self.steps += cost
+        self.ops += 1
+        self.by_kind[kind] += cost
+        for listener in self.listeners:
+            listener(kind, cost)
+
+    def reset(self) -> None:
+        self.steps = 0
+        self.ops = 0
+        self.by_kind.clear()
+
+    def snapshot(self) -> StepSnapshot:
+        return StepSnapshot(steps=self.steps, by_kind=dict(self.by_kind), ops=self.ops)
+
+    @contextmanager
+    def measure(self):
+        """Context manager yielding a mutable holder whose ``.delta`` is the
+        :class:`StepSnapshot` of charges made inside the block."""
+        before = self.snapshot()
+
+        class _Holder:
+            delta: StepSnapshot | None = None
+
+        holder = _Holder()
+        try:
+            yield holder
+        finally:
+            holder.delta = self.snapshot() - before

@@ -1,0 +1,285 @@
+"""Simulated P-RAM machines with explicit program-step cost models.
+
+The paper's central move is a *cost-model* change: take an EREW P-RAM and add
+two scan operations (``+-scan`` and ``max-scan``) as primitives costing one
+program step, the same as a parallel memory reference.  Python gives us no
+physical P-RAM, so this module provides the closest executable equivalent: a
+:class:`Machine` that *computes* every vector primitive with vectorized NumPy
+(for wall-clock speed) while *charging* program steps according to the model
+it simulates.  Step counts — the quantity all of the paper's Table 1 and
+Table 5 results are stated in — are therefore measured exactly, not timed.
+
+Four models are provided (see :mod:`repro.machine.capabilities`): ``erew``,
+``crew``, ``crcw`` (with the paper's combining-write extension), and ``scan``
+(EREW + unit-time scans).  The same algorithm code runs unchanged on any of
+them; only the charges differ.  Machines may also be constructed with fewer
+processors than vector elements (``num_processors=p``), in which case each
+processor simulates a contiguous block of ``ceil(n/p)`` elements exactly as in
+the paper's Figure 10, and ``work = p * steps`` gives the processor-step
+complexity of Table 5.
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .._util import ceil_div, ceil_log2
+from .capabilities import CAPABILITIES, Capabilities
+from .counters import StepCounter, StepSnapshot
+
+__all__ = ["Machine", "CapabilityError"]
+
+
+class CapabilityError(RuntimeError):
+    """An algorithm used a primitive the machine model does not provide.
+
+    For example, a gather with duplicate indices is a concurrent read and is
+    illegal on an EREW or scan-model machine, and an unconstrained scatter is
+    a concurrent write, legal only on CRCW (or when the machine was created
+    with ``allow_concurrent_write=True``, as the paper's line-drawing routine
+    requires even in the scan model).
+    """
+
+
+class Machine:
+    """A simulated P-RAM with a per-model program-step cost model.
+
+    Parameters
+    ----------
+    model:
+        One of ``"erew"``, ``"crew"``, ``"crcw"``, ``"scan"``.
+    num_processors:
+        If given, simulate only ``p`` physical processors: an ``n``-element
+        primitive charges ``ceil(n/p)`` sub-steps for its elementwise part
+        (Figure 10's long-vector simulation).  If ``None`` (default) the
+        machine always has as many processors as vector elements.
+    allow_concurrent_write:
+        Permit the "simplest form of concurrent write" (arbitrary winner /
+        combining) on non-CRCW models, recording its use in
+        ``concurrent_writes_used``.  The paper explicitly invokes this for
+        placing line-drawing pixels on the grid.
+    seed:
+        Seed for the machine's ``numpy.random.Generator`` used by the
+        probabilistic algorithms (quicksort pivots, MST coin flips, MIS).
+
+    Examples
+    --------
+    >>> m = Machine("scan")
+    >>> v = m.vector([2, 1, 2, 3, 5, 8, 13, 21])
+    >>> from repro.core import scans
+    >>> scans.plus_scan(v).to_list()
+    [0, 2, 3, 5, 8, 13, 21, 34]
+    >>> m.steps
+    1
+    """
+
+    def __init__(
+        self,
+        model: str = "scan",
+        *,
+        num_processors: Optional[int] = None,
+        allow_concurrent_write: bool = False,
+        seed: Optional[int] = None,
+    ) -> None:
+        if model not in CAPABILITIES:
+            raise ValueError(
+                f"unknown machine model {model!r}; expected one of {sorted(CAPABILITIES)}"
+            )
+        if num_processors is not None and num_processors < 1:
+            raise ValueError(f"num_processors must be >= 1, got {num_processors}")
+        self.model = model
+        self.capabilities: Capabilities = CAPABILITIES[model]
+        self.num_processors = num_processors
+        self.allow_concurrent_write = allow_concurrent_write
+        self.counter = StepCounter()
+        self.concurrent_writes_used = 0
+        self.peak_elements = 0
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def steps(self) -> int:
+        """Total program steps charged so far (the paper's step complexity)."""
+        return self.counter.steps
+
+    @property
+    def processors(self) -> int:
+        """Number of physical processors: ``num_processors`` if fixed,
+        otherwise the largest vector length seen so far."""
+        return self.num_processors if self.num_processors is not None else self.peak_elements
+
+    @property
+    def work(self) -> int:
+        """Processor-step complexity: ``processors * steps`` (Table 5)."""
+        return self.processors * self.steps
+
+    def reset(self) -> None:
+        """Zero all counters (the RNG state is kept)."""
+        self.counter.reset()
+        self.concurrent_writes_used = 0
+        self.peak_elements = 0
+
+    def snapshot(self) -> StepSnapshot:
+        return self.counter.snapshot()
+
+    def measure(self):
+        """``with m.measure() as r: ...`` then ``r.delta.steps``."""
+        return self.counter.measure()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        p = self.num_processors if self.num_processors is not None else "n"
+        return f"Machine(model={self.model!r}, p={p}, steps={self.steps})"
+
+    # ------------------------------------------------------------------ #
+    # Cost formulas
+    # ------------------------------------------------------------------ #
+
+    def _block(self, n: int) -> int:
+        """Elements per processor: ``ceil(n/p)``, 1 when processors >= n."""
+        self.peak_elements = max(self.peak_elements, n)
+        if n == 0:
+            return 0
+        if self.num_processors is None:
+            return 1
+        return ceil_div(n, min(self.num_processors, n))
+
+    def _effective_p(self, n: int) -> int:
+        if self.num_processors is None:
+            return n
+        return min(self.num_processors, n)
+
+    def _cross_scan_cost(self, p: int) -> int:
+        """Cost of a scan across ``p`` processors: one step in the scan
+        model, an up-and-down tree sweep of memory references otherwise."""
+        if p <= 1:
+            return 1
+        if self.capabilities.unit_scan:
+            return 1
+        return max(1, 2 * ceil_log2(p))
+
+    # ------------------------------------------------------------------ #
+    # Charging API (used by Vector / core ops, not by algorithms directly)
+    # ------------------------------------------------------------------ #
+
+    def charge_elementwise(self, n: int) -> None:
+        """One parallel arithmetic / logical / select step over ``n`` elements."""
+        self.counter.charge("elementwise", self._block(n))
+
+    def charge_permute(self, n: int) -> None:
+        """One exclusive-write permutation step (unique destinations)."""
+        self.counter.charge("permute", self._block(n))
+
+    def charge_gather(self, n: int, *, unique: bool) -> None:
+        """A parallel read ``A[I]``.  With duplicate indices this is a
+        concurrent read, unavailable on EREW / scan machines."""
+        if not unique and not self.capabilities.concurrent_read:
+            raise CapabilityError(
+                f"gather with duplicate indices is a concurrent read, "
+                f"illegal on the {self.model!r} model"
+            )
+        self.counter.charge("gather", self._block(n))
+
+    def charge_scan(self, n: int) -> None:
+        """One scan primitive over an ``n``-element vector."""
+        if n == 0:
+            self.counter.charge("scan", 0)
+            return
+        block = self._block(n)
+        p = self._effective_p(n)
+        if block <= 1:
+            cost = self._cross_scan_cost(p)
+        else:
+            # Figure 10: serial scan within each block, cross-processor scan,
+            # then add the processor offset back into each block.
+            cost = 2 * block + self._cross_scan_cost(p)
+        self.counter.charge("scan", cost)
+
+    def charge_broadcast(self, n: int) -> None:
+        """One value distributed to ``n`` processors.
+
+        Concurrent-read machines do this in one memory step; EREW needs a
+        ``lg p`` copy tree; the scan model does it with one scan (Section 2.2).
+        """
+        if n == 0:
+            self.counter.charge("broadcast", 0)
+            return
+        block = self._block(n)
+        p = self._effective_p(n)
+        if self.capabilities.concurrent_read:
+            cross = 1
+        elif self.capabilities.unit_scan:
+            cross = 1
+        else:
+            cross = max(1, ceil_log2(p))
+        self.counter.charge("broadcast", (block - 1) + cross if block > 1 else cross)
+
+    def charge_reduce(self, n: int) -> None:
+        """All elements combined to one value (+, max, min, or, and).
+
+        One combining write on extended CRCW, one scan on the scan model, a
+        ``lg p`` tree otherwise.
+        """
+        if n == 0:
+            self.counter.charge("reduce", 0)
+            return
+        block = self._block(n)
+        p = self._effective_p(n)
+        if self.capabilities.combining_write:
+            cross = 1
+        elif self.capabilities.unit_scan:
+            cross = 1
+        else:
+            cross = max(1, ceil_log2(p))
+        self.counter.charge("reduce", (block - 1) + cross if block > 1 else cross)
+
+    def charge_combine_write(self, n: int) -> None:
+        """A scatter with possibly-colliding destinations where collisions
+        combine (min / arbitrary winner).  The paper's extended-CRCW write."""
+        if not self.capabilities.concurrent_write:
+            if not self.allow_concurrent_write:
+                raise CapabilityError(
+                    f"combining/concurrent write is illegal on the {self.model!r} "
+                    f"model; construct the Machine with allow_concurrent_write=True "
+                    f"to permit it (as the paper does for line drawing)"
+                )
+            self.concurrent_writes_used += 1
+        self.counter.charge("combine_write", self._block(n))
+
+    # ------------------------------------------------------------------ #
+    # Vector factories
+    # ------------------------------------------------------------------ #
+
+    def vector(self, data, dtype=None) -> "Vector":
+        """Create a :class:`~repro.core.vector.Vector` owned by this machine.
+
+        An empty sequence without an explicit dtype becomes an int64 vector
+        (NumPy's float64 default for ``[]`` is never what scan code wants).
+        """
+        from ..core.vector import Vector
+
+        arr = np.asarray(data, dtype=dtype)
+        if dtype is None and arr.size == 0 and arr.dtype == np.float64:
+            arr = arr.astype(np.int64)
+        return Vector(self, arr)
+
+    def flags(self, data) -> "Vector":
+        """Create a boolean flag vector owned by this machine."""
+        from ..core.vector import Vector
+
+        return Vector(self, np.asarray(data, dtype=bool))
+
+    def zeros(self, n: int, dtype=np.int64) -> "Vector":
+        from ..core.vector import Vector
+
+        return Vector(self, np.zeros(n, dtype=dtype))
+
+    def arange(self, n: int) -> "Vector":
+        """The index vector ``[0, 1, ..., n-1]`` (each processor knows its
+        own address; no steps are charged)."""
+        from ..core.vector import Vector
+
+        return Vector(self, np.arange(n, dtype=np.int64))

@@ -1,0 +1,115 @@
+"""Tracing and profiling for machine step charges.
+
+The step counter answers "how many"; this module answers "where".  A
+:class:`Trace` hooks the counter and records every primitive charge, with
+user-defined phase labels::
+
+    m = Machine("scan")
+    with trace(m) as t:
+        with t.phase("sort"):
+            split_radix_sort(m.vector(data))
+        with t.phase("merge"):
+            halving_merge(...)
+    print(t.report())
+
+The report breaks the step total down by phase and by primitive kind —
+useful both for understanding an algorithm's primitive mix (Table 3
+style) and for finding the expensive stage of a pipeline.
+"""
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from .model import Machine
+
+__all__ = ["Trace", "TraceEvent", "trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One primitive charge: its kind, cost in steps, and active phase."""
+
+    kind: str
+    cost: int
+    phase: str
+
+
+@dataclass
+class Trace:
+    """Recorded charges plus aggregation helpers."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    _phase_stack: list[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def current_phase(self) -> str:
+        return self._phase_stack[-1] if self._phase_stack else "(untagged)"
+
+    @contextmanager
+    def phase(self, name: str):
+        """Label the charges made inside the block (phases may nest; the
+        innermost label wins)."""
+        self._phase_stack.append(name)
+        try:
+            yield self
+        finally:
+            self._phase_stack.pop()
+
+    def _record(self, kind: str, cost: int) -> None:
+        self.events.append(TraceEvent(kind=kind, cost=cost,
+                                      phase=self.current_phase))
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_steps(self) -> int:
+        return sum(e.cost for e in self.events)
+
+    def by_kind(self) -> dict[str, int]:
+        c: Counter = Counter()
+        for e in self.events:
+            c[e.kind] += e.cost
+        return dict(c)
+
+    def by_phase(self) -> dict[str, int]:
+        c: Counter = Counter()
+        for e in self.events:
+            c[e.phase] += e.cost
+        return dict(c)
+
+    def phase_kind_matrix(self) -> dict[str, dict[str, int]]:
+        out: dict[str, Counter] = {}
+        for e in self.events:
+            out.setdefault(e.phase, Counter())[e.kind] += e.cost
+        return {p: dict(c) for p, c in out.items()}
+
+    def report(self) -> str:
+        """A human-readable profile."""
+        lines = [f"total: {self.total_steps} steps in {len(self.events)} "
+                 "primitive invocations"]
+        by_phase = self.by_phase()
+        matrix = self.phase_kind_matrix()
+        for phase in sorted(by_phase, key=by_phase.get, reverse=True):
+            steps = by_phase[phase]
+            pct = 100.0 * steps / self.total_steps if self.total_steps else 0.0
+            kinds = ", ".join(f"{k}={v}" for k, v in
+                              sorted(matrix[phase].items(),
+                                     key=lambda kv: -kv[1]))
+            lines.append(f"  {phase:<20} {steps:>8} steps ({pct:4.1f}%)  [{kinds}]")
+        return "\n".join(lines)
+
+
+@contextmanager
+def trace(machine: Machine):
+    """Attach a :class:`Trace` to ``machine`` for the duration of the
+    block."""
+    t = Trace()
+    machine.counter.listeners.append(t._record)
+    try:
+        yield t
+    finally:
+        machine.counter.listeners.remove(t._record)

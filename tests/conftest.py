@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Machine
+
+
+@pytest.fixture
+def scan_machine() -> Machine:
+    return Machine("scan", seed=12345)
+
+
+@pytest.fixture
+def erew_machine() -> Machine:
+    return Machine("erew", seed=12345)
+
+
+@pytest.fixture
+def crcw_machine() -> Machine:
+    return Machine("crcw", seed=12345)
+
+
+@pytest.fixture(params=["erew", "crew", "crcw", "scan"])
+def any_machine(request) -> Machine:
+    return Machine(request.param, seed=999)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20260705)

@@ -1,0 +1,122 @@
+"""Baselines: P-RAM bitonic sort, explicit EREW tree scans, serial oracles."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Machine
+from repro._util import ceil_log2
+from repro.baselines import (
+    bitonic_sort,
+    bitonic_stage_count,
+    dda_line,
+    erew_max_scan,
+    erew_plus_scan,
+    erew_scan_steps,
+    kruskal_mst,
+    monotone_chain_hull,
+    serial_merge,
+    serial_sort,
+    union_find_components,
+)
+from repro.core import scans
+
+
+class TestBitonicSortPram:
+    @given(st.lists(st.integers(-10**6, 10**6), max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_sorts(self, xs):
+        m = Machine("erew")
+        assert bitonic_sort(m.vector(xs)).to_list() == sorted(xs)
+
+    def test_floats(self, rng):
+        m = Machine("erew")
+        data = rng.standard_normal(60)
+        assert bitonic_sort(m.vector(data, dtype=float)).to_list() == \
+            sorted(data.tolist())
+
+    def test_non_power_of_two_padding(self):
+        m = Machine("erew")
+        assert bitonic_sort(m.vector([3, 1, 2])).to_list() == [1, 2, 3]
+
+    def test_step_complexity_is_log_squared(self):
+        """Bitonic costs Θ(lg² n) steps: 2 charges per stage."""
+        m = Machine("erew")
+        bitonic_sort(m.vector(list(range(256, 0, -1))))
+        stages = bitonic_stage_count(256)
+        assert m.steps == 2 * stages
+
+    def test_same_cost_on_scan_model(self):
+        """Bitonic gains nothing from scans — the point of Table 4."""
+        a, b = Machine("erew"), Machine("scan")
+        bitonic_sort(a.vector(list(range(64))))
+        bitonic_sort(b.vector(list(range(64))))
+        assert a.steps == b.steps
+
+    def test_stage_count(self):
+        assert bitonic_stage_count(2) == 1
+        assert bitonic_stage_count(1024) == 55
+
+
+class TestErewTreeScan:
+    @given(st.lists(st.integers(-10**5, 10**5), min_size=1, max_size=150))
+    @settings(max_examples=40, deadline=None)
+    def test_plus_scan_matches_primitive(self, xs):
+        m = Machine("erew")
+        a = erew_plus_scan(m.vector(xs)).to_list()
+        b = scans.plus_scan(Machine("scan").vector(xs)).to_list()
+        assert a == b
+
+    @given(st.lists(st.integers(-10**5, 10**5), min_size=1, max_size=150))
+    @settings(max_examples=40, deadline=None)
+    def test_max_scan_matches_primitive(self, xs):
+        m = Machine("erew")
+        a = erew_max_scan(m.vector(xs)).to_list()
+        b = scans.max_scan(Machine("scan").vector(xs)).to_list()
+        assert a == b
+
+    def test_explicit_cost_matches_charged_cost(self):
+        """The Machine charges non-scan models 2·lg n per scan; the explicit
+        tree implementation pays exactly that."""
+        n = 512
+        m = Machine("erew")
+        erew_plus_scan(m.vector(range(n)))
+        assert m.steps == erew_scan_steps(n) == 2 * ceil_log2(n)
+
+    def test_bool_input(self):
+        m = Machine("erew")
+        out = erew_plus_scan(m.flags([1, 0, 1, 1]))
+        assert out.to_list() == [0, 1, 1, 2]
+
+
+class TestSerialOracles:
+    def test_serial_merge(self):
+        out = serial_merge([1, 3, 5], [2, 3, 4])
+        assert out.tolist() == [1, 2, 3, 3, 4, 5]
+
+    def test_serial_sort_stable(self):
+        assert serial_sort([3, 1, 2]).tolist() == [1, 2, 3]
+
+    def test_kruskal(self):
+        edges = [(0, 1), (1, 2), (0, 2)]
+        chosen, total = kruskal_mst(3, edges, [5, 1, 3])
+        assert total == 4
+        assert chosen.tolist() == [1, 2]
+
+    def test_union_find(self):
+        labels = union_find_components(5, [(0, 1), (2, 3)])
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert len(set(labels.tolist())) == 3
+
+    def test_dda_line_endpoints(self):
+        pts = dda_line(0, 0, 5, 3)
+        assert pts[0] == (0, 0) and pts[-1] == (5, 3)
+        assert len(pts) == 6
+
+    def test_dda_point(self):
+        assert dda_line(2, 2, 2, 2) == [(2, 2)]
+
+    def test_monotone_chain(self):
+        hull = monotone_chain_hull([(0, 0), (2, 0), (1, 1), (1, 3)])
+        assert hull == {(0, 0), (2, 0), (1, 3)}

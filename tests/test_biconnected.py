@@ -1,0 +1,124 @@
+"""Biconnected components (Tarjan-Vishkin), against Hopcroft-Tarjan."""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms.biconnected import biconnected_components
+from repro.baselines.serial import biconnected_edge_blocks
+from repro.graph import random_connected_graph
+
+
+def _canon_labels(labels):
+    d = {}
+    for e, lab in enumerate(labels):
+        d.setdefault(int(lab), set()).add(e)
+    return frozenset(frozenset(s) for s in d.values())
+
+
+def _canon_blocks(blocks):
+    return frozenset(frozenset(b) for b in blocks)
+
+
+class TestFixedCases:
+    def test_triangle_with_pendant(self):
+        edges = np.array([(0, 1), (1, 2), (0, 2), (2, 3)])
+        res = biconnected_components(Machine("scan", seed=0), 4, edges)
+        assert res.num_components == 2
+        assert res.articulation_points.tolist() == [2]
+        assert res.bridges.tolist() == [3]
+
+    def test_single_edge(self):
+        res = biconnected_components(Machine("scan", seed=0), 2, [(0, 1)])
+        assert res.num_components == 1
+        assert res.bridges.tolist() == [0]
+        assert len(res.articulation_points) == 0
+
+    def test_path_graph_every_edge_a_bridge(self):
+        edges = [(i, i + 1) for i in range(5)]
+        res = biconnected_components(Machine("scan", seed=1), 6, edges)
+        assert res.num_components == 5
+        assert res.bridges.tolist() == list(range(5))
+        assert res.articulation_points.tolist() == [1, 2, 3, 4]
+
+    def test_cycle_is_one_block(self):
+        n = 8
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        res = biconnected_components(Machine("scan", seed=2), n, edges)
+        assert res.num_components == 1
+        assert len(res.articulation_points) == 0
+        assert len(res.bridges) == 0
+
+    def test_two_triangles_sharing_a_vertex(self):
+        edges = [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]
+        res = biconnected_components(Machine("scan", seed=3), 5, edges)
+        assert res.num_components == 2
+        assert res.articulation_points.tolist() == [2]
+        assert len(res.bridges) == 0
+
+    def test_barbell(self):
+        """Two cycles joined by a bridge."""
+        edges = [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]
+        res = biconnected_components(Machine("scan", seed=4), 6, edges)
+        assert res.num_components == 3
+        assert res.bridges.tolist() == [3]
+        assert res.articulation_points.tolist() == [2, 3]
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError, match="connected"):
+            biconnected_components(Machine("scan", seed=0), 4,
+                                   [(0, 1), (2, 3)])
+
+    def test_trivial_rejected(self):
+        with pytest.raises(ValueError):
+            biconnected_components(Machine("scan"), 1,
+                                   np.empty((0, 2), dtype=int))
+
+
+class TestAgainstHopcroftTarjan:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 100))
+        edges, _ = random_connected_graph(rng, n, int(rng.integers(0, 2 * n)))
+        res = biconnected_components(Machine("scan", seed=seed), n, edges)
+        assert (_canon_labels(res.edge_labels)
+                == _canon_blocks(biconnected_edge_blocks(n, edges)))
+
+    def test_tree_input_every_edge_its_own_block(self):
+        rng = np.random.default_rng(5)
+        n = 40
+        parent = np.arange(n)
+        for v in range(1, n):
+            parent[v] = rng.integers(0, v)
+        edges = np.column_stack((np.arange(1, n), parent[1:]))
+        res = biconnected_components(Machine("scan", seed=5), n, edges)
+        assert res.num_components == n - 1
+        assert len(res.bridges) == n - 1
+
+    def test_dense_graph_single_block(self):
+        n = 12
+        edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        res = biconnected_components(Machine("scan", seed=6), n, edges)
+        assert res.num_components == 1
+
+
+class TestStepComplexity:
+    def test_polylog_growth(self):
+        def steps(n):
+            rng = np.random.default_rng(0)
+            edges, _ = random_connected_graph(rng, n, 2 * n)
+            m = Machine("scan", seed=0)
+            biconnected_components(m, n, edges)
+            return m.steps
+
+        s1, s2 = steps(128), steps(512)
+        assert s2 < 2.2 * s1
+
+    def test_scan_beats_erew(self):
+        rng = np.random.default_rng(1)
+        edges, _ = random_connected_graph(rng, 128, 256)
+        ms = Machine("scan", seed=1)
+        biconnected_components(ms, 128, edges)
+        me = Machine("erew", seed=1)
+        biconnected_components(me, 128, edges)
+        assert me.steps > 2 * ms.steps

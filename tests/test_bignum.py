@@ -1,0 +1,99 @@
+"""The appendix's scan applications: Ofman addition, Stone polynomials."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Machine
+from repro.algorithms.bignum import (
+    big_add,
+    evaluate_polynomial,
+    generic_scan,
+    powers_of,
+    scan_add,
+)
+
+
+def _m():
+    return Machine("scan")
+
+
+class TestScanAdd:
+    @given(st.integers(0, 2**200), st.integers(0, 2**200))
+    @settings(max_examples=80, deadline=None)
+    def test_addition(self, a, b):
+        assert big_add(_m(), a, b) == a + b
+
+    def test_zero(self):
+        assert big_add(_m(), 0, 0) == 0
+
+    def test_full_carry_chain(self):
+        """0b111...1 + 1: the carry ripples the whole width — still one
+        segmented or-scan."""
+        a = (1 << 128) - 1
+        assert big_add(_m(), a, 1) == 1 << 128
+
+    def test_alternating_carries(self):
+        a = int("10" * 64, 2)
+        b = int("01" * 64, 2)
+        assert big_add(_m(), a, b) == a + b
+
+    def test_constant_steps(self):
+        """O(1) program steps regardless of the bit width."""
+        def steps(bits):
+            m = Machine("scan")
+            big_add(m, (1 << bits) - 3, (1 << bits) // 3)
+            return m.steps
+
+        assert steps(64) == steps(4096)
+
+    def test_bit_vector_interface(self):
+        m = _m()
+        out = scan_add(m.flags([1, 1, 0]), m.flags([1, 0, 1]))  # 3 + 5
+        assert [int(b) for b in out.to_list()] == [0, 0, 0, 1]  # = 8
+
+    def test_validation(self):
+        m = _m()
+        with pytest.raises(TypeError):
+            scan_add(m.vector([1, 0]), m.flags([1, 0]))
+        with pytest.raises(ValueError):
+            scan_add(m.flags([1]), m.flags([1, 0]))
+        with pytest.raises(ValueError):
+            big_add(m, -1, 2)
+
+
+class TestGenericScan:
+    def test_mul_scan(self):
+        out = generic_scan(_m().vector([2, 3, 4], dtype=np.int64), "mul")
+        assert out.to_list() == [1, 2, 6]
+
+    def test_xor_scan(self):
+        out = generic_scan(_m().vector([0b101, 0b011, 0b110]), "xor")
+        assert out.to_list() == [0, 0b101, 0b110]
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            generic_scan(_m().vector([1]), "div")
+
+    def test_charged_as_tree_on_every_model(self):
+        """A programmed scan pays 2·lg n even on the scan machine (only
+        +-scan and max-scan are primitives)."""
+        a, b = Machine("scan"), Machine("erew")
+        generic_scan(a.vector(np.ones(256)), "mul")
+        generic_scan(b.vector(np.ones(256)), "mul")
+        assert a.steps == b.steps == 16
+
+
+class TestPolynomial:
+    def test_powers(self):
+        assert powers_of(_m(), 3.0, 5).to_list() == [1.0, 3.0, 9.0, 27.0, 81.0]
+
+    @given(st.lists(st.integers(-9, 9), min_size=1, max_size=12),
+           st.floats(-2, 2))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_horner(self, coeffs, x):
+        got = evaluate_polynomial(_m(), coeffs, x)
+        expect = 0.0
+        for c in reversed(coeffs):
+            expect = expect * x + c
+        assert got == pytest.approx(expect, rel=1e-9, abs=1e-9)

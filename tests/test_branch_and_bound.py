@@ -1,0 +1,84 @@
+"""Branch-and-bound by allocation + load balancing (Sections 2.4-2.5)."""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms.branch_and_bound import (
+    knapsack_branch_and_bound,
+    knapsack_dp,
+)
+
+
+class TestCorrectness:
+    def test_tiny(self):
+        m = Machine("scan")
+        res = knapsack_branch_and_bound(m, [60, 100, 120], [10, 20, 30], 50)
+        assert res.best_value == 220
+
+    def test_nothing_fits(self):
+        m = Machine("scan")
+        res = knapsack_branch_and_bound(m, [10, 20], [100, 100], 5)
+        assert res.best_value == 0
+
+    def test_everything_fits(self):
+        m = Machine("scan")
+        res = knapsack_branch_and_bound(m, [1, 2, 3], [1, 1, 1], 10)
+        assert res.best_value == 6
+
+    def test_zero_capacity(self):
+        m = Machine("scan")
+        res = knapsack_branch_and_bound(m, [5], [1], 0)
+        assert res.best_value == 0
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_against_dp(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 18))
+        values = rng.integers(1, 100, n)
+        weights = rng.integers(1, 40, n)
+        cap = int(rng.integers(5, 150))
+        m = Machine("scan", seed=seed)
+        res = knapsack_branch_and_bound(m, values, weights, cap)
+        assert res.best_value == knapsack_dp(values, weights, cap)
+
+    def test_validation(self):
+        m = Machine("scan")
+        with pytest.raises(ValueError):
+            knapsack_branch_and_bound(m, [1, 2], [1], 5)
+        with pytest.raises(ValueError):
+            knapsack_branch_and_bound(m, [1], [0], 5)
+        with pytest.raises(ValueError):
+            knapsack_branch_and_bound(m, [1], [1], -1)
+
+
+class TestPruning:
+    def test_bound_prunes_exponentially_many_nodes(self):
+        """Without bounding the frontier is 2^n; the fractional bound keeps
+        it polynomial-ish on random instances."""
+        rng = np.random.default_rng(3)
+        n = 22
+        values = rng.integers(1, 100, n)
+        weights = rng.integers(1, 30, n)
+        m = Machine("scan", seed=3)
+        res = knapsack_branch_and_bound(m, values, weights, 120)
+        assert res.best_value == knapsack_dp(values, weights, 120)
+        assert res.nodes_expanded < 2 ** 14  # far below 2^22
+
+    def test_statistics_reported(self):
+        m = Machine("scan")
+        res = knapsack_branch_and_bound(m, [3, 4, 5], [2, 3, 4], 5)
+        assert res.levels == 3
+        assert res.max_frontier >= 1
+        assert res.nodes_expanded >= 3
+
+    def test_allocation_steps_independent_of_frontier_width(self):
+        """Each level is O(1) steps no matter how many nodes expand: the
+        per-level step delta stays flat as the frontier grows."""
+        rng = np.random.default_rng(4)
+        n = 14
+        values = rng.integers(1, 100, n)
+        weights = rng.integers(1, 10, n)
+        m = Machine("scan", seed=4)
+        res = knapsack_branch_and_bound(m, values, weights, 60)
+        # total steps are O(levels), not O(nodes)
+        assert m.steps < 80 * res.levels

@@ -1,0 +1,44 @@
+"""The ``python -m repro`` command-line interface."""
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInProcess:
+    @pytest.mark.parametrize("argv", [
+        ["demo"],
+        ["table1", "cc"],
+        ["table1", "radix"],
+        ["table2", "--n", "1024"],
+        ["table4", "--n", "1024"],
+        ["table5", "--n", "512"],
+        ["figure9"],
+    ])
+    def test_commands_run(self, argv, capsys):
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert out.strip()
+
+    def test_table1_shows_all_models(self, capsys):
+        main(["table1", "mis"])
+        out = capsys.readouterr().out
+        for model in ("erew", "crcw", "scan"):
+            assert model in out
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "bogus"])
+
+
+def test_module_entry_point():
+    proc = subprocess.run([sys.executable, "-m", "repro", "demo"],
+                          capture_output=True, text=True, timeout=120)
+    assert proc.returncode == 0
+    assert "+-scan(A) = [0, 2, 3, 5, 8, 13, 21, 34]" in proc.stdout

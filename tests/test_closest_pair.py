@@ -1,0 +1,81 @@
+"""Closest pair of points (Table 1)."""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms.closest_pair import closest_pair
+from repro.baselines import brute_closest_pair
+
+
+class TestCorrectness:
+    def test_two_points(self):
+        res = closest_pair(Machine("scan"), [(0, 0), (3, 4)])
+        assert res.distance_sq == 25
+        assert res.pair == (0, 1)
+
+    def test_three_points(self):
+        res = closest_pair(Machine("scan"), [(0, 0), (10, 0), (1, 1)])
+        assert res.distance_sq == 2
+        assert res.pair == (0, 2)
+
+    def test_duplicate_points(self):
+        res = closest_pair(Machine("scan"), [(5, 5), (1, 2), (5, 5)])
+        assert res.distance_sq == 0
+        assert res.pair == (0, 2)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            closest_pair(Machine("scan"), [(0, 0)])
+
+    def test_pair_straddling_the_divider(self):
+        """The closest pair crosses the x-median: the strip probe must find
+        it."""
+        pts = [(0, 0), (1, 50), (2, 1), (3, 51), (100, 0), (101, 50),
+               (49, 25), (51, 25)]
+        res = closest_pair(Machine("scan"), pts)
+        assert res.distance_sq == 4
+        assert res.pair == (6, 7)
+
+    def test_negative_coordinates(self):
+        res = closest_pair(Machine("scan"), [(-5, -5), (-4, -5), (10, 10)])
+        assert res.distance_sq == 1
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_against_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 250))
+        pts = rng.integers(-500, 500, (n, 2))
+        res = closest_pair(Machine("scan"), pts)
+        assert res.distance_sq == brute_closest_pair(pts)
+        i, j = res.pair
+        assert i != j
+        assert int(((pts[i] - pts[j]) ** 2).sum()) == res.distance_sq
+
+    def test_clustered_points(self):
+        rng = np.random.default_rng(99)
+        centers = rng.integers(-10**4, 10**4, (8, 2))
+        pts = np.concatenate([c + rng.integers(-5, 6, (20, 2)) for c in centers])
+        res = closest_pair(Machine("scan"), pts)
+        assert res.distance_sq == brute_closest_pair(pts)
+
+
+class TestComplexity:
+    def test_steps_scale_like_log(self):
+        rng = np.random.default_rng(0)
+
+        def steps(n):
+            m = Machine("scan")
+            closest_pair(m, rng.integers(0, 2**14, (n, 2)))
+            return m.steps
+
+        s1, s2 = steps(256), steps(2048)
+        assert s2 < 2.5 * s1  # 8x points, far less than 8x steps
+
+    def test_scan_beats_erew(self):
+        rng = np.random.default_rng(1)
+        pts = rng.integers(0, 2**10, (512, 2))
+        ms = Machine("scan")
+        closest_pair(ms, pts)
+        me = Machine("erew")
+        closest_pair(me, pts)
+        assert me.steps > 2 * ms.steps

@@ -1,0 +1,159 @@
+"""Empirical Table 1: step-complexity growth rates across machine models.
+
+These tests measure program steps at increasing n and assert the *shape*
+the paper claims: an O(lg n) algorithm's steps grow by roughly a constant
+per doubling, an O(lg² n) algorithm's by a growing increment, and the
+scan/EREW ratio widens like lg n.
+"""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms import (
+    build_kd_tree,
+    closest_pair,
+    connected_components,
+    convex_hull,
+    minimum_spanning_tree,
+    quicksort,
+    split_radix_sort,
+)
+from repro.graph import random_connected_graph
+
+
+def _median_steps(fn, sizes, trials=3):
+    out = []
+    for n in sizes:
+        runs = []
+        for t in range(trials):
+            runs.append(fn(n, t))
+        out.append(int(np.median(runs)))
+    return out
+
+
+def _doubling_increments(steps):
+    return [b - a for a, b in zip(steps, steps[1:])]
+
+
+class TestLogGrowthOnScanModel:
+    """O(lg n) algorithms: the per-doubling step increment stays bounded."""
+
+    def test_mst(self):
+        def run(n, t):
+            rng = np.random.default_rng(t)
+            edges, weights = random_connected_graph(rng, n, n)
+            m = Machine("scan", seed=t)
+            minimum_spanning_tree(m, n, edges, weights)
+            return m.steps
+
+        steps = _median_steps(run, [64, 256, 1024])
+        inc = _doubling_increments(steps)
+        # quadrupling n adds a bounded number of rounds' worth of steps
+        assert inc[1] < 2.0 * max(inc[0], 60)
+
+    def test_connected_components(self):
+        def run(n, t):
+            rng = np.random.default_rng(t)
+            edges, _ = random_connected_graph(rng, n, n)
+            m = Machine("scan", seed=t)
+            connected_components(m, n, edges)
+            return m.steps
+
+        steps = _median_steps(run, [64, 256, 1024])
+        assert steps[2] < 2.2 * steps[1]
+
+    def test_quicksort(self):
+        def run(n, t):
+            m = Machine("scan", seed=t)
+            rng = np.random.default_rng(t)
+            quicksort(m.vector(rng.permutation(n)))
+            return m.steps
+
+        steps = _median_steps(run, [256, 1024, 4096])
+        # lg n growth: 4x the data, ~(lg 4096 / lg 1024)x the steps
+        assert steps[2] < 1.9 * steps[1]
+
+    def test_radix_sort_with_fixed_bits(self):
+        def run(n, t):
+            m = Machine("scan")
+            rng = np.random.default_rng(t)
+            split_radix_sort(m.vector(rng.integers(0, 1024, n)),
+                             number_of_bits=10)
+            return m.steps
+
+        steps = _median_steps(run, [256, 1024, 4096], trials=1)
+        assert steps[0] == steps[1] == steps[2]  # independent of n entirely
+
+    def test_convex_hull(self):
+        def run(n, t):
+            m = Machine("scan")
+            rng = np.random.default_rng(t)
+            convex_hull(m, rng.integers(-10**6, 10**6, (n, 2)))
+            return m.steps
+
+        steps = _median_steps(run, [256, 1024, 4096])
+        assert steps[2] < 2.0 * steps[1]
+
+    def test_kd_tree(self):
+        def run(n, t):
+            m = Machine("scan")
+            rng = np.random.default_rng(t)
+            build_kd_tree(m, rng.integers(0, 2**14, (n, 2)))
+            return m.steps
+
+        steps = _median_steps(run, [128, 512, 2048], trials=1)
+        assert steps[2] < 2.2 * steps[1]
+
+    def test_closest_pair(self):
+        def run(n, t):
+            m = Machine("scan")
+            rng = np.random.default_rng(t)
+            closest_pair(m, rng.integers(0, 2**14, (n, 2)))
+            return m.steps
+
+        steps = _median_steps(run, [128, 512, 2048], trials=1)
+        assert steps[2] < 2.5 * steps[1]
+
+
+class TestScanVsErewRatio:
+    """The O(lg n)-factor gap between the scan model and EREW widens with
+    n — Table 1's whole message."""
+
+    @pytest.mark.parametrize("n_small,n_big", [(64, 1024)])
+    def test_mst_ratio_widens(self, n_small, n_big):
+        def ratio(n):
+            rng = np.random.default_rng(0)
+            edges, weights = random_connected_graph(rng, n, n)
+            ms = Machine("scan", seed=0)
+            minimum_spanning_tree(ms, n, edges, weights)
+            me = Machine("erew", seed=0)
+            minimum_spanning_tree(me, n, edges, weights)
+            return me.steps / ms.steps
+
+        assert ratio(n_big) > ratio(n_small)
+
+    def test_quicksort_ratio_widens(self):
+        def ratio(n):
+            rng = np.random.default_rng(1)
+            data = rng.permutation(n)
+            ms = Machine("scan", seed=1)
+            quicksort(ms.vector(data))
+            me = Machine("erew", seed=1)
+            quicksort(me.vector(data))
+            return me.steps / ms.steps
+
+        assert ratio(2048) > ratio(128)
+
+    def test_crcw_between_erew_and_scan_for_mst(self):
+        """Table 1's MST row: EREW O(lg² n), CRCW O(lg n) (combining
+        write), scan O(lg n) — CRCW should sit at or below EREW and near
+        the scan model."""
+        n = 512
+        rng = np.random.default_rng(2)
+        edges, weights = random_connected_graph(rng, n, n)
+        steps = {}
+        for model in ("erew", "crcw", "scan"):
+            m = Machine(model, seed=2)
+            minimum_spanning_tree(m, n, edges, weights)
+            steps[model] = m.steps
+        assert steps["scan"] <= steps["crcw"] <= steps["erew"]

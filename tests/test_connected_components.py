@@ -1,0 +1,123 @@
+"""Connected components and the Euler-tour rootfix behind it."""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms.connected_components import connected_components
+from repro.algorithms.forest import rootfix
+from repro.baselines import union_find_components
+
+
+def _same_partition(a, b):
+    """Two labelings describe the same partition."""
+    a, b = np.asarray(a), np.asarray(b)
+    seen = {}
+    for x, y in zip(a, b):
+        if x in seen:
+            if seen[x] != y:
+                return False
+        else:
+            seen[x] = y
+    return len(set(seen.values())) == len(seen)
+
+
+class TestRootfix:
+    def test_single_tree(self):
+        m = Machine("scan")
+        parent = np.array([0, 0, 0, 1, 1, 2])
+        assert rootfix(m, parent).tolist() == [0] * 6
+
+    def test_forest(self):
+        m = Machine("scan")
+        parent = np.array([0, 0, 1, 3, 3, 4, 6])
+        assert rootfix(m, parent).tolist() == [0, 0, 0, 3, 3, 3, 6]
+
+    def test_all_roots(self):
+        m = Machine("scan")
+        assert rootfix(m, np.arange(5)).tolist() == list(range(5))
+
+    def test_deep_chain(self):
+        m = Machine("scan")
+        n = 300
+        parent = np.maximum(np.arange(n) - 1, 0)
+        assert rootfix(m, parent).tolist() == [0] * n
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_forests(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 200))
+        parent = np.arange(n)
+        for v in range(1, n):
+            if rng.random() < 0.8:
+                parent[v] = rng.integers(0, v)  # acyclic by construction
+        m = Machine("scan", seed=seed)
+        labels = rootfix(m, parent)
+        # oracle: iterate to fixpoint
+        expect = parent.copy()
+        for _ in range(n):
+            expect = expect[expect]
+        assert labels.tolist() == expect.tolist()
+
+    def test_step_complexity_logarithmic(self):
+        """Rootfix is O(lg n) steps on the scan model; quadrupling n should
+        far less than quadruple the steps."""
+        def steps_for(n):
+            parent = np.maximum(np.arange(n) - 1, 0)
+            m = Machine("scan")
+            rootfix(m, parent)
+            return m.steps
+
+        s1, s2 = steps_for(256), steps_for(1024)
+        assert s2 < 2 * s1
+
+
+class TestComponents:
+    def test_basic(self):
+        m = Machine("scan", seed=0)
+        edges = [[0, 1], [1, 2], [3, 4], [5, 6], [6, 7], [7, 5]]
+        res = connected_components(m, 10, edges)
+        assert res.num_components == 5  # {0,1,2} {3,4} {5,6,7} {8} {9}
+        expect = union_find_components(10, edges)
+        assert _same_partition(res.labels, expect)
+
+    def test_no_edges(self):
+        m = Machine("scan")
+        res = connected_components(m, 4, np.empty((0, 2), dtype=int))
+        assert res.num_components == 4
+        assert res.labels.tolist() == [0, 1, 2, 3]
+
+    def test_single_component(self):
+        m = Machine("scan", seed=1)
+        edges = [(i, i + 1) for i in range(49)]
+        res = connected_components(m, 50, edges)
+        assert res.num_components == 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs_match_union_find(self, seed):
+        rng = np.random.default_rng(seed + 100)
+        n = int(rng.integers(5, 120))
+        n_edges = int(rng.integers(1, 2 * n))
+        edges = rng.integers(0, n, (n_edges, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        if len(edges) == 0:
+            edges = np.array([[0, min(1, n - 1)]])
+            if n == 1:
+                return
+        # dedupe for the representation
+        edges = np.unique(np.sort(edges, axis=1), axis=0)
+        m = Machine("scan", seed=seed)
+        res = connected_components(m, n, edges)
+        expect = union_find_components(n, edges)
+        assert _same_partition(res.labels, expect), seed
+        assert res.num_components == len(set(expect.tolist()))
+
+    def test_scan_beats_erew(self):
+        rng = np.random.default_rng(9)
+        n = 256
+        edges = np.unique(np.sort(rng.integers(0, n, (3 * n, 2)), axis=1), axis=0)
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        ms = Machine("scan", seed=9)
+        connected_components(ms, n, edges)
+        me = Machine("erew", seed=9)
+        connected_components(me, n, edges)
+        assert me.steps > 2.5 * ms.steps

@@ -1,0 +1,101 @@
+"""Segmented quickhull (Table 1)."""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms.convex_hull import convex_hull
+from repro.baselines import monotone_chain_hull
+
+
+def _hull_points(pts, res):
+    return set(map(tuple, np.asarray(pts)[res.hull_indices].tolist()))
+
+
+class TestSmallCases:
+    def test_triangle(self):
+        pts = [(0, 0), (4, 0), (2, 3)]
+        res = convex_hull(Machine("scan"), pts)
+        assert _hull_points(pts, res) == {(0, 0), (4, 0), (2, 3)}
+
+    def test_interior_point_excluded(self):
+        pts = [(0, 0), (4, 0), (2, 3), (2, 1)]
+        res = convex_hull(Machine("scan"), pts)
+        assert _hull_points(pts, res) == {(0, 0), (4, 0), (2, 3)}
+
+    def test_collinear_points_excluded(self):
+        pts = [(0, 0), (1, 0), (2, 0), (3, 0), (1, 2)]
+        res = convex_hull(Machine("scan"), pts)
+        assert _hull_points(pts, res) == {(0, 0), (3, 0), (1, 2)}
+
+    def test_all_collinear(self):
+        pts = [(0, 0), (1, 1), (2, 2), (3, 3)]
+        res = convex_hull(Machine("scan"), pts)
+        assert _hull_points(pts, res) == {(0, 0), (3, 3)}
+
+    def test_two_points(self):
+        res = convex_hull(Machine("scan"), [(0, 0), (5, 5)])
+        assert len(res.hull_indices) == 2
+
+    def test_single_point(self):
+        res = convex_hull(Machine("scan"), [(3, 3)])
+        assert res.hull_indices.tolist() == [0]
+
+    def test_duplicates(self):
+        pts = [(0, 0), (0, 0), (2, 0), (2, 0), (1, 2)]
+        res = convex_hull(Machine("scan"), pts)
+        assert _hull_points(pts, res) == {(0, 0), (2, 0), (1, 2)}
+
+    def test_empty(self):
+        res = convex_hull(Machine("scan"), np.empty((0, 2), dtype=int))
+        assert len(res.hull_indices) == 0
+
+    def test_square(self):
+        pts = [(0, 0), (0, 2), (2, 0), (2, 2), (1, 1)]
+        res = convex_hull(Machine("scan"), pts)
+        assert _hull_points(pts, res) == {(0, 0), (0, 2), (2, 0), (2, 2)}
+
+
+class TestAgainstBaseline:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_point_sets(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 300))
+        pts = rng.integers(-100, 100, (n, 2))
+        res = convex_hull(Machine("scan"), pts)
+        assert _hull_points(pts, res) == monotone_chain_hull(pts)
+
+    def test_points_on_circle(self):
+        t = np.linspace(0, 2 * np.pi, 40, endpoint=False)
+        pts = np.column_stack((100 * np.cos(t), 100 * np.sin(t))).astype(int)
+        pts = np.unique(pts, axis=0)
+        res = convex_hull(Machine("scan"), pts)
+        assert _hull_points(pts, res) == monotone_chain_hull(pts)
+
+    def test_ccw_ordering(self):
+        rng = np.random.default_rng(1)
+        pts = rng.integers(-50, 50, (100, 2))
+        res = convex_hull(Machine("scan"), pts)
+        hp = pts[res.hull_indices].astype(float)
+        # consecutive triples must all turn left (counter-clockwise)
+        k = len(hp)
+        for i in range(k):
+            a, b, c = hp[i], hp[(i + 1) % k], hp[(i + 2) % k]
+            cross = (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+            assert cross > 0
+
+
+class TestComplexity:
+    def test_rounds_logarithmic_on_random_points(self):
+        rng = np.random.default_rng(0)
+        pts = rng.integers(-10**6, 10**6, (4096, 2))
+        res = convex_hull(Machine("scan"), pts)
+        assert res.rounds <= 24  # expected O(lg n)
+
+    def test_scan_beats_erew(self):
+        rng = np.random.default_rng(2)
+        pts = rng.integers(-1000, 1000, (512, 2))
+        ms = Machine("scan")
+        convex_hull(ms, pts)
+        me = Machine("erew")
+        convex_hull(me, pts)
+        assert me.steps > 2 * ms.steps

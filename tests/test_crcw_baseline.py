@@ -1,0 +1,79 @@
+"""Shiloach-Vishkin CRCW connected components (Table 1's cited CRCW
+algorithm) as a baseline for the scan-model implementation."""
+import numpy as np
+import pytest
+
+from repro import CapabilityError, Machine
+from repro.algorithms import connected_components
+from repro.baselines import shiloach_vishkin_components, union_find_components
+from repro.graph import random_connected_graph
+
+
+def _canon(labels):
+    seen = {}
+    return tuple(seen.setdefault(int(x), len(seen)) for x in labels)
+
+
+class TestCorrectness:
+    def test_basic(self):
+        m = Machine("crcw")
+        res = shiloach_vishkin_components(m, 6, [(0, 1), (1, 2), (3, 4)])
+        assert res.num_components == 3
+        assert _canon(res.labels) == _canon(union_find_components(
+            6, [(0, 1), (1, 2), (3, 4)]))
+
+    def test_no_edges(self):
+        m = Machine("crcw")
+        res = shiloach_vishkin_components(m, 4, np.empty((0, 2), dtype=int))
+        assert res.num_components == 4
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 300))
+        edges = rng.integers(0, n, (int(rng.integers(0, 3 * n)), 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        m = Machine("crcw")
+        res = shiloach_vishkin_components(m, n, edges)
+        assert _canon(res.labels) == _canon(union_find_components(n, edges))
+
+    def test_long_path_converges_logarithmically(self):
+        n = 4096
+        edges = [(i, i + 1) for i in range(n - 1)]
+        m = Machine("crcw")
+        res = shiloach_vishkin_components(m, n, edges)
+        assert res.num_components == 1
+        assert res.iterations <= 20  # O(lg n)
+
+
+class TestCapabilities:
+    def test_refuses_weaker_models(self):
+        for model in ("erew", "crew", "scan"):
+            with pytest.raises(CapabilityError):
+                shiloach_vishkin_components(Machine(model), 3, [(0, 1)])
+
+
+class TestAgainstScanModel:
+    def test_both_scale_logarithmically(self):
+        """Table 1's CC row: CRCW (Shiloach-Vishkin) and scan-model CC are
+        both O(lg n) — steps grow by a bounded increment per quadrupling —
+        while their constants differ (SV leans on the stronger memory
+        primitives, the scan version maintains a whole representation)."""
+        def sv_steps(n):
+            rng = np.random.default_rng(0)
+            edges, _ = random_connected_graph(rng, n, 2 * n)
+            m = Machine("crcw")
+            shiloach_vishkin_components(m, n, edges)
+            return m.steps
+
+        def scan_steps(n):
+            rng = np.random.default_rng(0)
+            edges, _ = random_connected_graph(rng, n, 2 * n)
+            m = Machine("scan", seed=0)
+            connected_components(m, n, edges)
+            return m.steps
+
+        sv = [sv_steps(n) for n in (64, 256, 1024)]
+        sc = [scan_steps(n) for n in (64, 256, 1024)]
+        assert sv[2] < 2.5 * sv[1]
+        assert sc[2] < 2.5 * sc[1]

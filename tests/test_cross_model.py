@@ -1,0 +1,168 @@
+"""Cross-model invariance: the machine model changes *charges*, never
+*results*.  Every algorithm must compute the same answer on erew, crew,
+crcw and scan machines, and probabilistic algorithms must be reproducible
+under a fixed seed."""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms import (
+    biconnected_components,
+    build_kd_tree,
+    closest_pair,
+    connected_components,
+    convex_hull,
+    draw_lines,
+    halving_merge,
+    knapsack_branch_and_bound,
+    list_rank,
+    mat_vec,
+    max_flow,
+    maximal_independent_set,
+    minimum_spanning_tree,
+    quicksort,
+    solve,
+    split_radix_sort,
+    tree_contract,
+)
+from repro.algorithms.tree_contraction import ExpressionTree
+from repro.graph import random_connected_graph
+from repro.machine import MODEL_NAMES
+
+
+def _all_models(fn):
+    return [fn(Machine(model, seed=42)) for model in MODEL_NAMES]
+
+
+class TestDeterministicAlgorithmsAgree:
+    def test_radix_sort(self, rng):
+        data = rng.integers(0, 10**5, 300)
+        outs = _all_models(lambda m: split_radix_sort(m.vector(data)).to_list())
+        assert all(o == outs[0] for o in outs)
+
+    def test_halving_merge(self, rng):
+        a = np.sort(rng.integers(0, 10**5, 200))
+        b = np.sort(rng.integers(0, 10**5, 150))
+        outs = _all_models(
+            lambda m: halving_merge(m.vector(a), m.vector(b))[0].to_list())
+        assert all(o == outs[0] for o in outs)
+
+    def test_line_drawing(self, rng):
+        lines = rng.integers(0, 100, (10, 4))
+        outs = _all_models(lambda m: draw_lines(m, lines).pixels().tolist())
+        assert all(o == outs[0] for o in outs)
+
+    def test_convex_hull(self, rng):
+        pts = rng.integers(-200, 200, (150, 2))
+        outs = _all_models(
+            lambda m: sorted(convex_hull(m, pts).hull_indices.tolist()))
+        assert all(o == outs[0] for o in outs)
+
+    def test_kd_tree(self, rng):
+        pts = rng.integers(0, 10**4, (90, 2))
+        outs = _all_models(lambda m: build_kd_tree(m, pts).order.tolist())
+        assert all(o == outs[0] for o in outs)
+
+    def test_closest_pair(self, rng):
+        pts = rng.integers(0, 10**4, (120, 2))
+        outs = _all_models(lambda m: closest_pair(m, pts).distance_sq)
+        assert all(o == outs[0] for o in outs)
+
+    def test_linear_solver(self, rng):
+        a = rng.standard_normal((10, 10)) + 10 * np.eye(10)
+        b = rng.standard_normal(10)
+        outs = _all_models(lambda m: solve(m, a, b).to_list())
+        for o in outs:
+            assert np.allclose(o, outs[0])
+
+    def test_mat_vec(self, rng):
+        a = rng.standard_normal((9, 9))
+        x = rng.standard_normal(9)
+        outs = _all_models(lambda m: mat_vec(m, a, x).to_list())
+        for o in outs:
+            assert np.allclose(o, outs[0])
+
+    def test_list_rank(self, rng):
+        n = 200
+        nxt = np.append(rng.permutation(np.arange(1, n)), -1)
+        nxt = np.append(np.arange(1, n), -1)
+        outs = _all_models(lambda m: list_rank(m.vector(nxt)).to_list())
+        assert all(o == outs[0] for o in outs)
+
+    def test_max_flow(self, rng):
+        n = 20
+        edges, _ = random_connected_graph(rng, n, 25)
+        caps = rng.integers(1, 15, len(edges))
+        outs = _all_models(lambda m: max_flow(m, n, edges, caps, 0, n - 1).value)
+        assert all(o == outs[0] for o in outs)
+
+
+class TestSeededAlgorithmsAgreeAcrossModels:
+    """Probabilistic algorithms draw randomness from the machine's seeded
+    generator, so equal seeds give equal results on every model."""
+
+    def test_quicksort(self, rng):
+        data = rng.integers(0, 5000, 400)
+        outs = _all_models(lambda m: quicksort(m.vector(data)).to_list())
+        assert all(o == outs[0] for o in outs)
+
+    def test_mst_weight(self, rng):
+        edges, weights = random_connected_graph(rng, 100, 150)
+        outs = _all_models(
+            lambda m: minimum_spanning_tree(m, 100, edges, weights).total_weight)
+        assert all(o == outs[0] for o in outs)
+
+    def test_connected_components(self, rng):
+        edges = rng.integers(0, 60, (80, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        edges = np.unique(np.sort(edges, axis=1), axis=0)
+        outs = _all_models(
+            lambda m: connected_components(m, 60, edges).labels.tolist())
+        assert all(o == outs[0] for o in outs)
+
+    def test_mis(self, rng):
+        edges, _ = random_connected_graph(rng, 50, 60)
+        outs = _all_models(
+            lambda m: maximal_independent_set(m, 50, edges).in_set.tolist())
+        assert all(o == outs[0] for o in outs)
+
+    def test_tree_contraction(self, rng):
+        t = ExpressionTree.random(rng, 100)
+        outs = _all_models(lambda m: tree_contract(m, t)[0])
+        assert all(o == outs[0] for o in outs)
+
+    def test_biconnected(self, rng):
+        edges, _ = random_connected_graph(rng, 40, 50)
+        def canon(m):
+            labels = biconnected_components(m, 40, edges).edge_labels
+            d = {}
+            return [d.setdefault(int(l), len(d)) for l in labels]
+        outs = _all_models(canon)
+        assert all(o == outs[0] for o in outs)
+
+    def test_knapsack(self, rng):
+        values = rng.integers(1, 50, 12)
+        weights = rng.integers(1, 20, 12)
+        outs = _all_models(
+            lambda m: knapsack_branch_and_bound(m, values, weights, 60).best_value)
+        assert all(o == outs[0] for o in outs)
+
+
+class TestSeedReproducibility:
+    def test_same_seed_same_everything(self, rng):
+        edges, weights = random_connected_graph(rng, 128, 200)
+        runs = []
+        for _ in range(2):
+            m = Machine("scan", seed=123)
+            res = minimum_spanning_tree(m, 128, edges, weights)
+            runs.append((res.total_weight, res.rounds, m.steps,
+                         res.edge_ids.tolist()))
+        assert runs[0] == runs[1]
+
+    def test_different_seeds_may_take_different_rounds(self, rng):
+        edges, weights = random_connected_graph(rng, 256, 400)
+        rounds = set()
+        for seed in range(8):
+            m = Machine("scan", seed=seed)
+            rounds.add(minimum_spanning_tree(m, 256, edges, weights).rounds)
+        assert len(rounds) > 1  # the coin flips really vary

@@ -1,0 +1,27 @@
+"""Every example script must run clean (they double as integration tests)."""
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted((pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_expected_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {"quickstart.py", "sorting_showdown.py", "graph_analytics.py",
+            "graphics_pipeline.py", "processor_allocation.py",
+            "scientific_computing.py"} <= names

@@ -1,0 +1,145 @@
+"""Failure injection: corrupt structures must be *detected*, not silently
+computed over — the representation invariants are load-bearing."""
+import numpy as np
+import pytest
+
+from repro import Machine, Vector
+from repro.graph import SegmentedGraph, from_edges
+
+
+def _fresh_graph():
+    m = Machine("scan")
+    g = from_edges(m, 4, [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)],
+                   weights=[5, 1, 7, 3, 2])
+    return m, g
+
+
+class TestGraphValidateCatchesCorruption:
+    def test_clean_graph_validates(self):
+        _, g = _fresh_graph()
+        g.validate()
+
+    def test_non_involution_pointers(self):
+        m, g = _fresh_graph()
+        cp = g.cross_pointers.to_array()
+        cp[0], cp[1] = cp[1], cp[0]  # break cp[cp[i]] == i for some i
+        g.cross_pointers = Vector(m, cp)
+        with pytest.raises(AssertionError):
+            g.validate()
+
+    def test_non_permutation_pointers(self):
+        m, g = _fresh_graph()
+        cp = g.cross_pointers.to_array()
+        cp[0] = cp[1]
+        g.cross_pointers = Vector(m, cp)
+        with pytest.raises(AssertionError, match="permutation"):
+            g.validate()
+
+    def test_self_pointing_slot(self):
+        m, g = _fresh_graph()
+        cp = g.cross_pointers.to_array()
+        a = cp[0]
+        cp[0] = 0
+        cp[a] = a
+        g.cross_pointers = Vector(m, cp)
+        with pytest.raises(AssertionError):
+            g.validate()
+
+    def test_intra_segment_edge(self):
+        m, g = _fresh_graph()
+        # rewire two slots of the same segment at each other
+        sf = g.seg_flags.data
+        seg_id = np.cumsum(sf) - 1
+        # find a segment with two slots
+        seg, counts = np.unique(seg_id, return_counts=True)
+        target = seg[counts >= 2][0]
+        slots = np.flatnonzero(seg_id == target)[:2]
+        cp = g.cross_pointers.to_array()
+        a, b = cp[slots[0]], cp[slots[1]]
+        cp[slots[0]], cp[slots[1]] = slots[1], slots[0]
+        cp[a], cp[b] = b, a
+        g.cross_pointers = Vector(m, cp)
+        with pytest.raises(AssertionError, match="self-loop|intra"):
+            g.validate()
+
+    def test_first_slot_must_start_segment(self):
+        m, g = _fresh_graph()
+        sf = g.seg_flags.to_array()
+        sf[0] = False
+        g.seg_flags = Vector(m, sf)
+        with pytest.raises(AssertionError, match="segment"):
+            g.validate()
+
+    def test_asymmetric_payload(self):
+        m, g = _fresh_graph()
+        w = g.slot_data["weight"].to_array()
+        w[0] += 1  # its partner keeps the old weight
+        g.slot_data["weight"] = Vector(m, w)
+        with pytest.raises(AssertionError, match="weight"):
+            g.validate()
+
+    def test_payload_length_mismatch(self):
+        m, g = _fresh_graph()
+        g.slot_data["weight"] = Vector(m, g.slot_data["weight"].data[:-1])
+        with pytest.raises(AssertionError, match="length"):
+            g.validate()
+
+    def test_vertex_reps_length_mismatch(self):
+        _, g = _fresh_graph()
+        g.vertex_reps = g.vertex_reps[:-1]
+        with pytest.raises(AssertionError, match="reps"):
+            g.validate()
+
+
+class TestVectorGuards:
+    def test_permute_rejects_partial_coverage_gaps_have_default(self):
+        m = Machine("scan")
+        out = m.vector([9, 8]).permute(m.vector([0, 3]), length=4, default=-1)
+        assert out.to_list() == [9, -1, -1, 8]
+
+    def test_gather_out_of_range(self):
+        m = Machine("scan")
+        with pytest.raises(IndexError):
+            m.vector([1, 2]).gather(m.vector([0, 2]))
+
+    def test_combine_write_length_mismatch(self):
+        m = Machine("crcw")
+        with pytest.raises(ValueError, match="match"):
+            m.vector([1, 2]).combine_write(m.vector([0]), length=2)
+
+    def test_where_machine_mismatch(self):
+        a, b = Machine("scan"), Machine("scan")
+        f = a.flags([1, 0])
+        with pytest.raises(ValueError, match="machines"):
+            f.where(b.vector([1, 2]), 0)
+
+
+class TestAlgorithmInputGuards:
+    def test_mst_rejects_isolated_vertex(self):
+        from repro.algorithms import minimum_spanning_tree
+
+        m = Machine("scan")
+        with pytest.raises(ValueError, match="degree"):
+            minimum_spanning_tree(m, 3, [(0, 1)], [1])
+
+    def test_halving_merge_catches_unsorted_second_arg(self):
+        from repro.algorithms import halving_merge
+
+        m = Machine("scan")
+        with pytest.raises(ValueError, match="b must be sorted"):
+            halving_merge(m.vector([1, 2]), m.vector([3, 1]))
+
+    def test_treefix_detects_cycle(self):
+        from repro.algorithms import build_rooted_tree
+
+        m = Machine("scan")
+        # 1 -> 2 -> 1 cycle with root 0 disconnected from it
+        with pytest.raises((ValueError, RuntimeError, IndexError)):
+            build_rooted_tree(m, [0, 2, 1])
+
+    def test_max_flow_guards(self):
+        from repro.algorithms import max_flow
+
+        m = Machine("scan")
+        with pytest.raises(ValueError):
+            max_flow(m, 3, [(0, 1), (1, 2)], [1, 2, 3], 0, 2)

@@ -1,0 +1,79 @@
+"""The Euler-tour rootfix (merge-forest resolution) in isolation."""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms.forest import rootfix
+
+
+class TestShapes:
+    def test_binary_tree(self):
+        #        0
+        #      1   2
+        #     3 4 5 6
+        parent = np.array([0, 0, 0, 1, 1, 2, 2])
+        m = Machine("scan")
+        assert rootfix(m, parent).tolist() == [0] * 7
+
+    def test_star(self):
+        parent = np.zeros(50, dtype=np.int64)
+        m = Machine("scan")
+        assert rootfix(m, parent).tolist() == [0] * 50
+
+    def test_chain(self):
+        n = 500
+        parent = np.maximum(np.arange(n) - 1, 0)
+        m = Machine("scan")
+        assert rootfix(m, parent).tolist() == [0] * n
+
+    def test_many_singleton_roots(self):
+        m = Machine("scan")
+        assert rootfix(m, np.arange(20)).tolist() == list(range(20))
+
+    def test_mixed_forest(self):
+        parent = np.array([0, 0, 2, 2, 3, 5, 5, 6])
+        m = Machine("scan")
+        got = rootfix(m, parent)
+        assert got.tolist() == [0, 0, 2, 2, 2, 5, 5, 5]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_forest_matches_iteration(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 400))
+        parent = np.arange(n)
+        for v in range(1, n):
+            if rng.random() < 0.85:
+                parent[v] = rng.integers(0, v)
+        expect = parent.copy()
+        for _ in range(n):
+            expect = expect[expect]
+        m = Machine("scan")
+        assert rootfix(m, parent).tolist() == expect.tolist()
+
+
+class TestCharges:
+    def test_logarithmic_steps(self):
+        def steps(n):
+            parent = np.maximum(np.arange(n) - 1, 0)
+            m = Machine("scan")
+            rootfix(m, parent)
+            return m.steps
+
+        s1, s2 = steps(512), steps(4096)
+        assert s2 < 1.8 * s1
+
+    def test_uses_only_erew_legal_primitives(self):
+        """Rootfix never needs a concurrent read or write: the profile
+        contains only exclusive primitive kinds."""
+        parent = np.maximum(np.arange(128) - 1, 0)
+        m = Machine("scan")
+        rootfix(m, parent)
+        kinds = set(m.counter.by_kind)
+        assert kinds <= {"scan", "elementwise", "permute", "gather",
+                         "reduce", "broadcast", "memory"}
+        assert m.concurrent_writes_used == 0
+
+    def test_trivial_forest_is_free(self):
+        m = Machine("scan")
+        rootfix(m, np.arange(10))
+        assert m.steps == 0  # all roots: nothing to do

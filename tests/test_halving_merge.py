@@ -1,0 +1,130 @@
+"""The halving merge (Section 2.5.1, Figure 12)."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Machine
+from repro.algorithms.halving_merge import halving_merge, near_merge_fix
+from repro.baselines import serial_merge
+
+sorted_lists = st.lists(st.integers(0, 10**5), max_size=200).map(sorted)
+
+
+def _m():
+    return Machine("scan")
+
+
+class TestNearMergeFix:
+    def test_paper_figure12_vector(self):
+        m = _m()
+        near = m.vector([1, 7, 3, 4, 9, 22, 10, 13, 15, 20, 23, 26])
+        out = near_merge_fix(near)
+        assert out.to_list() == [1, 3, 4, 7, 9, 10, 13, 15, 20, 22, 23, 26]
+
+    def test_single_rotation(self):
+        m = _m()
+        assert near_merge_fix(m.vector([2, 30, 7, 47])).to_list() == [2, 7, 30, 47]
+
+    def test_sorted_input_unchanged(self):
+        m = _m()
+        assert near_merge_fix(m.vector([1, 2, 3, 4])).to_list() == [1, 2, 3, 4]
+
+
+class TestCorrectness:
+    def test_paper_figure12(self):
+        m = _m()
+        a = m.vector([1, 7, 10, 13, 15, 20])
+        b = m.vector([3, 4, 9, 22, 23, 26])
+        merged, flags = halving_merge(a, b)
+        assert merged.to_list() == [1, 3, 4, 7, 9, 10, 13, 15, 20, 22, 23, 26]
+        assert flags.to_list() == [False, True, True, False, True, False,
+                                   False, False, False, True, True, True]
+
+    @given(sorted_lists, sorted_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_matches_serial_merge(self, a, b):
+        m = _m()
+        merged, flags = halving_merge(m.vector(a), m.vector(b))
+        assert merged.to_list() == serial_merge(a, b).tolist()
+        # the merge-flag vector recovers the origins exactly
+        fa = flags.data
+        assert merged.data[~fa].tolist() == list(a)
+        assert merged.data[fa].tolist() == list(b)
+
+    def test_empty_sides(self):
+        m = _m()
+        merged, flags = halving_merge(m.vector([]), m.vector([1, 2]))
+        assert merged.to_list() == [1, 2]
+        merged, flags = halving_merge(m.vector([1, 2]), m.vector([]))
+        assert merged.to_list() == [1, 2]
+        assert flags.to_list() == [False, False]
+
+    def test_singletons(self):
+        m = _m()
+        merged, _ = halving_merge(m.vector([5]), m.vector([3]))
+        assert merged.to_list() == [3, 5]
+
+    def test_stability_on_ties(self):
+        """a's elements precede equal b elements."""
+        m = _m()
+        merged, flags = halving_merge(m.vector([5, 5]), m.vector([5]))
+        assert merged.to_list() == [5, 5, 5]
+        assert flags.to_list() == [False, False, True]
+
+    def test_interleaved(self):
+        m = _m()
+        a = list(range(0, 100, 2))
+        b = list(range(1, 100, 2))
+        merged, _ = halving_merge(m.vector(a), m.vector(b))
+        assert merged.to_list() == list(range(100))
+
+
+class TestValidation:
+    def test_unsorted_rejected(self):
+        m = _m()
+        with pytest.raises(ValueError, match="sorted"):
+            halving_merge(m.vector([2, 1]), m.vector([3]))
+
+    def test_negative_rejected(self):
+        m = _m()
+        with pytest.raises(ValueError, match="non-negative"):
+            halving_merge(m.vector([-1, 2]), m.vector([3]))
+
+    def test_float_rejected(self):
+        m = _m()
+        with pytest.raises(TypeError):
+            halving_merge(m.vector([1.0], dtype=float), m.vector([2.0], dtype=float))
+
+
+class TestComplexity:
+    def test_step_complexity_n_over_p_plus_log(self, rng):
+        """Table 5: with p = n / lg n processors the work is O(n), an lg n
+        factor below the p = n version's O(n lg n)."""
+        n = 1024
+        a = np.sort(rng.integers(0, 10**6, n))
+        b = np.sort(rng.integers(0, 10**6, n))
+
+        m_full = Machine("scan")  # p = n
+        halving_merge(m_full.vector(a), m_full.vector(b))
+        work_full = 2 * n * m_full.steps
+
+        p = max(2 * n // 10, 1)  # p = n / lg n
+        m_few = Machine("scan", num_processors=p)
+        halving_merge(m_few.vector(a), m_few.vector(b))
+        work_few = p * m_few.steps
+
+        assert work_few < work_full / 2
+
+    def test_log_steps_with_full_processors(self, rng):
+        """Steps grow ~ lg n with p = n (each halving level is O(1))."""
+        steps = []
+        for n in (256, 1024, 4096):
+            m = Machine("scan")
+            a = np.sort(rng.integers(0, 10**6, n))
+            b = np.sort(rng.integers(0, 10**6, n))
+            halving_merge(m.vector(a), m.vector(b))
+            steps.append(m.steps)
+        # doubling n twice adds a constant number of levels' worth of steps
+        assert steps[2] - steps[1] <= 2 * (steps[1] - steps[0]) + 8
+        assert steps[2] < 1.8 * steps[0]

@@ -1,0 +1,151 @@
+"""Bitonic network, router, and the Table 2 / Table 4 analysis layer."""
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    BitonicNetwork,
+    HypercubeRouter,
+    bitonic_depth,
+    bitonic_network_cycles,
+    bitonic_on_hypercube_cycles,
+    example_system,
+    route_cycles_model,
+    scan_vs_memory,
+    sort_comparison,
+    split_radix_cycles,
+    tree_scan_cycles,
+    wormhole_route_cycles,
+)
+
+
+class TestBitonicNetwork:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_sorts(self, n, rng):
+        net = BitonicNetwork(n, 8)
+        vals = rng.integers(0, 256, n)
+        out, cycles = net.sort(vals)
+        assert np.array_equal(out, np.sort(vals))
+        assert cycles == bitonic_network_cycles(n, 8)
+
+    def test_duplicates_and_extremes(self):
+        net = BitonicNetwork(8, 4)
+        out, _ = net.sort([15, 0, 15, 0, 7, 7, 1, 14])
+        assert out.tolist() == [0, 0, 1, 7, 7, 14, 15, 15]
+
+    def test_depth_formula(self):
+        assert bitonic_depth(2) == 1
+        assert bitonic_depth(8) == 6
+        assert bitonic_depth(65536) == 136
+
+    def test_comparator_count(self):
+        net = BitonicNetwork(8, 4)
+        assert net.num_comparators() == 6 * 4  # depth * n/2
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            BitonicNetwork(6, 4)
+        with pytest.raises(ValueError):
+            BitonicNetwork(4, 4).sort([16, 0, 0, 0])
+
+
+class TestRouter:
+    def test_identity_routing_is_free(self):
+        r = HypercubeRouter(16, 8)
+        st = r.route(np.arange(16))
+        assert st.cycles == 0
+        assert st.total_hops == 0
+
+    def test_full_reversal(self):
+        r = HypercubeRouter(16, 8)
+        st = r.route(np.arange(16)[::-1].copy())
+        assert st.total_hops == 16 * 4  # every message crosses every dim
+        assert st.cycles >= 4 * r.hop_cost
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_permutation_latency(self, seed):
+        rng = np.random.default_rng(seed)
+        r = HypercubeRouter(64, 16)
+        st = r.route(rng.permutation(64))
+        # at least one hop and no more than pathological serialization
+        assert r.hop_cost <= st.cycles <= 64 * 6 * r.hop_cost
+
+    def test_concurrent_destinations_queue(self):
+        """All messages to node 0: the final links serialize."""
+        r = HypercubeRouter(8, 4)
+        st = r.route(np.zeros(8, dtype=int))
+        assert st.max_queue_delay > 0
+
+    def test_model_lower_bounds_simulation(self):
+        rng = np.random.default_rng(0)
+        r = HypercubeRouter(64, 16)
+        cyc = r.random_permutation_cycles(rng)
+        assert cyc >= route_cycles_model(64, 16) // 3
+
+    def test_destination_validation(self):
+        r = HypercubeRouter(4, 4)
+        with pytest.raises(ValueError):
+            r.route([0, 1, 2, 9])
+
+
+class TestTable2:
+    def test_scan_cheaper_than_memory_reference(self):
+        """The paper's central hardware claim, at CM-2 scale."""
+        t = scan_vs_memory(65536, 32)
+        scan = t["scan_operation"]
+        mem = t["memory_reference"]
+        assert scan["bit_cycles"] <= mem["bit_cycles_wormhole"]
+        assert scan["bit_cycles"] < mem["bit_cycles_store_forward"]
+        assert scan["hardware_units"] < 0.1 * mem["hardware_units"]
+        assert scan["circuit_size"] < mem["circuit_size"]
+        assert scan["vlsi_area"] < mem["vlsi_area"]
+
+    def test_holds_across_sizes(self):
+        for n in (256, 4096, 1 << 20):
+            t = scan_vs_memory(n, 32)
+            assert (t["scan_operation"]["bit_cycles"]
+                    <= t["memory_reference"]["bit_cycles_wormhole"])
+
+
+class TestTable4:
+    def test_cm_scale_near_tie(self):
+        """At n = 64K, d = 16 the two sorts are within a small factor, with
+        bitonic slightly ahead — the 20,000 vs 19,000 of Table 4."""
+        t = sort_comparison(65536, 16)
+        split = t["split_radix"]["simulated_cycles"]
+        bitonic = t["bitonic"]["simulated_cycles"]
+        assert bitonic <= split <= 2 * bitonic
+
+    def test_theory_column(self):
+        t = sort_comparison(65536, 16)
+        assert t["split_radix"]["theory_bit_time"] == 16 * 16
+        assert t["bitonic"]["theory_bit_time"] == 16 + 256
+
+    def test_split_radix_wins_for_small_keys(self):
+        """Crossover: with few key bits the radix sort's d·lg n beats the
+        network's lg² n term."""
+        t = sort_comparison(65536, 4)
+        assert (t["split_radix"]["simulated_cycles"]
+                < t["bitonic"]["simulated_cycles"])
+
+    def test_monotone_in_bits(self):
+        costs = [split_radix_cycles(4096, d) for d in (4, 8, 16, 32)]
+        assert costs == sorted(costs)
+        bit = [bitonic_on_hypercube_cycles(4096, d) for d in (4, 8, 16, 32)]
+        assert bit == sorted(bit)
+
+
+class TestExampleSystem:
+    def test_paper_arithmetic(self):
+        es = example_system()
+        assert es.processors == 4096
+        assert es.boards == 64
+        assert es.per_board_chip_state_machines == 126
+        assert es.per_board_chip_shift_registers == 63
+        # "a scan on a 32 bit field would require 5 microseconds"
+        assert 4e-6 < es.scan_time_at_100ns < 6e-6
+        # "with a 10ns clock ... reduced to .5 microseconds"
+        assert 4e-7 < es.scan_time_at_10ns < 6e-7
+
+    def test_wormhole_model_monotone(self):
+        assert wormhole_route_cycles(1 << 16, 32) > wormhole_route_cycles(256, 32)
+        assert tree_scan_cycles(1 << 16, 32) > tree_scan_cycles(256, 32)

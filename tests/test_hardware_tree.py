@@ -1,0 +1,112 @@
+"""The bit-pipelined tree scan circuit (Figures 13–14)."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.tree import MAX, PLUS, TreeScanCircuit, tree_scan_cycles
+
+
+class TestPlusScanCircuit:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 64])
+    def test_matches_numpy(self, n, rng):
+        width = 16
+        vals = rng.integers(0, (1 << width) // n, n)
+        res, cycles = TreeScanCircuit(n, width, PLUS).scan(vals)
+        expect = np.concatenate(([0], np.cumsum(vals)[:-1]))
+        assert np.array_equal(res, expect)
+
+    def test_truncation_modulo_width(self):
+        res, _ = TreeScanCircuit(4, 4, PLUS).scan([15, 15, 15, 15])
+        expect = np.array([0, 15, 30, 45]) % 16
+        assert np.array_equal(res, expect)
+
+    @given(st.lists(st.integers(0, 255), min_size=8, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_property_8_leaves(self, vals):
+        res, _ = TreeScanCircuit(8, 12, PLUS).scan(vals)
+        assert np.array_equal(res, np.concatenate(([0], np.cumsum(vals)[:-1])))
+
+
+class TestMaxScanCircuit:
+    @pytest.mark.parametrize("n", [2, 4, 8, 32])
+    def test_matches_numpy(self, n, rng):
+        width = 10
+        vals = rng.integers(0, 1 << width, n)
+        res, _ = TreeScanCircuit(n, width, MAX).scan(vals)
+        expect = np.concatenate(([0], np.maximum.accumulate(vals)[:-1]))
+        assert np.array_equal(res, expect)
+
+    @given(st.lists(st.integers(0, 1023), min_size=16, max_size=16))
+    @settings(max_examples=30, deadline=None)
+    def test_property_16_leaves(self, vals):
+        res, _ = TreeScanCircuit(16, 10, MAX).scan(vals)
+        assert np.array_equal(
+            res, np.concatenate(([0], np.maximum.accumulate(vals)[:-1])))
+
+
+class TestTiming:
+    @pytest.mark.parametrize("n,width", [(2, 8), (8, 8), (64, 32), (256, 16)])
+    def test_cycle_count_formula(self, n, width, rng):
+        c = TreeScanCircuit(n, width, PLUS)
+        _, cycles = c.scan(rng.integers(0, 2, n))
+        assert cycles == tree_scan_cycles(n, width)
+        lg = int(np.log2(n))
+        assert cycles == width + 2 * lg - 2  # the paper's m + 2 lg n pipeline
+
+    def test_bit_pipelining_beats_word_serial(self):
+        """The whole point: lg n + m, not lg n * m.  A word-at-a-time tree
+        would need 2 lg n * m cycles."""
+        n, width = 256, 32
+        pipelined = tree_scan_cycles(n, width)
+        word_serial = 2 * 8 * width
+        assert pipelined < word_serial / 8
+
+    def test_64k_closed_form(self):
+        # the CM-2 scale of Table 2
+        assert tree_scan_cycles(65536, 32) == 32 + 2 * 16 - 2
+
+    def test_reusable_circuit(self, rng):
+        c = TreeScanCircuit(8, 8, PLUS)
+        for _ in range(3):
+            vals = rng.integers(0, 16, 8)
+            res, _ = c.scan(vals)
+            assert np.array_equal(res, np.concatenate(([0], np.cumsum(vals)[:-1])))
+        assert c.cycles_run == 3 * tree_scan_cycles(8, 8)
+
+
+class TestHardwareInventory:
+    def test_section_32_counts(self):
+        """Section 3.3: a 64-input chip has 126 state machines and 63 shift
+        registers."""
+        c = TreeScanCircuit(64, 32, PLUS)
+        assert c.num_state_machines() == 126
+        assert c.num_shift_registers() == 63
+
+    def test_fifo_lengths_match_depth(self):
+        c = TreeScanCircuit(16, 8, PLUS)
+        assert c.fifo[1].length == 0           # root reflects immediately
+        assert c.fifo[2].length == 2
+        assert c.fifo[4].length == 4
+        assert c.fifo[8].length == 6
+        # total bits grow linearly-ish with n (O(n) area, Table 2)
+        assert c.total_shift_register_bits() == sum(
+            2 * (u.bit_length() - 1) for u in range(1, 16))
+
+
+class TestValidation:
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            TreeScanCircuit(6, 8, PLUS)
+
+    def test_value_range_enforced(self):
+        with pytest.raises(ValueError):
+            TreeScanCircuit(4, 4, PLUS).scan([16, 0, 0, 0])
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            TreeScanCircuit(4, 4, PLUS).scan([1, 2])
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError):
+            TreeScanCircuit(4, 4, 9)

@@ -1,0 +1,133 @@
+"""The Figure 15 sum state machine and the FIFO, exhaustively."""
+import itertools
+
+import pytest
+
+from repro.hardware.unit import (
+    MAX,
+    PLUS,
+    GateLevelSumStateMachine,
+    ShiftRegister,
+    SumStateMachine,
+)
+
+
+def _serial_add(sm, a, b, width):
+    """Feed two integers LSB first; collect the sum bits."""
+    out = 0
+    for i in range(width):
+        bit = sm.step((a >> i) & 1, (b >> i) & 1)
+        out |= bit << i
+    return out
+
+
+def _serial_max(sm, a, b, width):
+    """Feed two integers MSB first; collect the max bits."""
+    out = 0
+    for i in range(width - 1, -1, -1):
+        bit = sm.step((a >> i) & 1, (b >> i) & 1)
+        out |= bit << i
+    return out
+
+
+class TestSerialAdder:
+    def test_exhaustive_6bit(self):
+        for a in range(64):
+            for b in range(64):
+                sm = SumStateMachine(PLUS)
+                assert _serial_add(sm, a, b, 7) == a + b, (a, b)
+
+    def test_carry_chain(self):
+        sm = SumStateMachine(PLUS)
+        assert _serial_add(sm, 0b1111, 0b0001, 5) == 16
+
+    def test_clear_resets_carry(self):
+        sm = SumStateMachine(PLUS)
+        _serial_add(sm, 3, 3, 2)  # leaves a carry pending
+        sm.clear()
+        assert _serial_add(sm, 1, 1, 2) == 2
+
+
+class TestSerialMax:
+    def test_exhaustive_6bit(self):
+        for a in range(64):
+            for b in range(64):
+                sm = SumStateMachine(MAX)
+                assert _serial_max(sm, a, b, 6) == max(a, b), (a, b)
+
+    def test_equal_values(self):
+        sm = SumStateMachine(MAX)
+        assert _serial_max(sm, 42, 42, 6) == 42
+
+    def test_decision_latches(self):
+        """Once one operand wins, later bits come only from the winner."""
+        sm = SumStateMachine(MAX)
+        # 100 vs 011: a wins on the first bit
+        bits = [sm.step(a, b) for a, b in [(1, 0), (0, 1), (0, 1)]]
+        assert bits == [1, 0, 0]
+
+    def test_invalid_op(self):
+        with pytest.raises(ValueError):
+            SumStateMachine(7)
+
+
+class TestGateLevelEquivalence:
+    @pytest.mark.parametrize("op", [PLUS, MAX])
+    def test_exhaustive_state_equivalence(self, op):
+        """Every (Q1, Q2, A, B) combination: the gate-level circuit and the
+        behavioral model produce the same output bit and next state."""
+        for q1, q2, a, b in itertools.product((0, 1), repeat=4):
+            if op == PLUS and q2:
+                continue  # the adder never sets Q2
+            if op == MAX and q1 and q2:
+                continue  # mutually exclusive by construction
+            beh = SumStateMachine(op)
+            beh.q1, beh.q2 = q1, q2
+            gate = GateLevelSumStateMachine(op)
+            gate.q1, gate.q2 = q1, q2
+            s_b = beh.step(a, b)
+            s_g = gate.step(a, b)
+            assert s_g == int(s_b), (op, q1, q2, a, b)
+            assert gate.q1 == int(beh.q1)
+            assert gate.q2 == int(beh.q2)
+
+    @pytest.mark.parametrize("op", [PLUS, MAX])
+    def test_serial_words_agree(self, op):
+        """Whole 6-bit words through both machines, all operand pairs."""
+        for a in range(0, 64, 7):
+            for b in range(64):
+                beh, gate = SumStateMachine(op), GateLevelSumStateMachine(op)
+                bits = range(7) if op == PLUS else range(5, -1, -1)
+                for i in bits:
+                    x, y = (a >> i) & 1, (b >> i) & 1
+                    assert gate.step(x, y) == beh.step(x, y), (a, b, i)
+
+    def test_gate_count_documented(self):
+        assert GateLevelSumStateMachine.GATE_COUNT < 30  # "quite easy to build"
+
+    def test_invalid_op(self):
+        with pytest.raises(ValueError):
+            GateLevelSumStateMachine(5)
+
+
+class TestShiftRegister:
+    def test_zero_length_is_a_wire(self):
+        sr = ShiftRegister(0)
+        assert [sr.shift(b) for b in (1, 0, 1)] == [1, 0, 1]
+
+    def test_delays_by_length(self):
+        sr = ShiftRegister(3)
+        seq = [1, 0, 1, 1, 0, 0, 1]
+        out = [sr.shift(b) for b in seq]
+        assert out == [0, 0, 0] + seq[:4]
+
+    def test_clear(self):
+        sr = ShiftRegister(2)
+        sr.shift(1)
+        sr.shift(1)
+        sr.clear()
+        assert sr.shift(0) == 0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            ShiftRegister(-1)

@@ -1,0 +1,135 @@
+"""Cross-module integration: realistic pipelines that chain several of the
+paper's algorithms on one machine, with end-to-end step accounting."""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms import (
+    build_kd_tree,
+    closest_pair,
+    connected_components,
+    convex_hull,
+    draw_lines,
+    halving_merge,
+    minimum_spanning_tree,
+    quicksort,
+    render,
+    split_radix_sort,
+)
+from repro.baselines import kruskal_mst
+from repro.core import ops, scans
+from repro.graph import random_connected_graph
+
+
+class TestSortMergePipeline:
+    def test_sort_two_ways_then_merge(self, rng):
+        """Radix-sort two shards, halving-merge them, verify against one
+        big sort — three algorithms sharing one machine."""
+        m = Machine("scan", seed=0)
+        a = rng.integers(0, 10**5, 700)
+        b = rng.integers(0, 10**5, 300)
+        sa = split_radix_sort(m.vector(a))
+        sb = split_radix_sort(m.vector(b))
+        merged, _ = halving_merge(sa, sb)
+        assert merged.to_list() == sorted(np.concatenate((a, b)).tolist())
+        assert m.steps > 0
+
+    def test_quicksort_feeds_merge(self, rng):
+        m = Machine("scan", seed=1)
+        a = rng.integers(0, 5000, 256)
+        b = rng.integers(0, 5000, 256)
+        merged, _ = halving_merge(quicksort(m.vector(a)), quicksort(m.vector(b)))
+        assert merged.to_list() == sorted(np.concatenate((a, b)).tolist())
+
+
+class TestGeometryPipeline:
+    def test_hull_of_kd_ordered_points(self, rng):
+        """kd-tree ordering is just a permutation: the hull of the
+        reordered points matches the hull of the originals."""
+        pts = rng.integers(-1000, 1000, (300, 2))
+        m = Machine("scan")
+        tree = build_kd_tree(m, pts)
+        h1 = convex_hull(m, pts)
+        h2 = convex_hull(m, pts[tree.order])
+        s1 = set(map(tuple, pts[h1.hull_indices].tolist()))
+        s2 = set(map(tuple, pts[tree.order][h2.hull_indices].tolist()))
+        assert s1 == s2
+
+    def test_closest_pair_lies_inside_hull_or_on_it(self, rng):
+        pts = rng.integers(-500, 500, (150, 2))
+        m = Machine("scan")
+        cp = closest_pair(m, pts)
+        hull = convex_hull(m, pts)
+        assert cp.distance_sq >= 0
+        assert len(hull.hull_indices) >= 2
+
+    def test_draw_the_mst_of_a_point_set(self, rng):
+        """A tiny end-to-end 'application': closest-pair-ish graph -> MST
+        -> rasterize the tree edges."""
+        n = 24
+        pts = rng.integers(2, 60, (n, 2))
+        # complete-ish graph on the points with squared-distance weights
+        edges, weights = [], []
+        for i in range(n):
+            for j in range(i + 1, n):
+                if (i + j) % 3 == 0 or j == i + 1:  # sparse but connected
+                    edges.append((i, j))
+                    weights.append(int(((pts[i] - pts[j]) ** 2).sum()) + 1)
+        m = Machine("scan", seed=3, allow_concurrent_write=True)
+        res = minimum_spanning_tree(m, n, np.array(edges), np.array(weights))
+        assert len(res.edge_ids) == n - 1
+        segs = [[*pts[edges[e][0]], *pts[edges[e][1]]] for e in res.edge_ids]
+        drawing = draw_lines(m, segs)
+        grid = render(drawing, 64, 64)
+        for x, y in pts:  # every vertex pixel is drawn
+            assert grid[y, x]
+
+
+class TestGraphPipeline:
+    def test_mst_edges_form_one_component(self, rng):
+        n = 200
+        edges, weights = random_connected_graph(rng, n, 3 * n)
+        m = Machine("scan", seed=4)
+        mst = minimum_spanning_tree(m, n, edges, weights)
+        cc = connected_components(m, n, edges[mst.edge_ids])
+        assert cc.num_components == 1
+        _, expect = kruskal_mst(n, edges, weights)
+        assert mst.total_weight == expect
+
+    def test_components_of_mst_minus_heaviest_edge(self, rng):
+        """Cutting the heaviest MST edge leaves exactly two components —
+        MST + CC cooperating on one machine."""
+        n = 80
+        edges, weights = random_connected_graph(rng, n, n)
+        m = Machine("scan", seed=5)
+        mst = minimum_spanning_tree(m, n, edges, weights)
+        chosen = mst.edge_ids
+        heaviest = chosen[np.argmax(weights[chosen])]
+        remaining = np.array([e for e in chosen if e != heaviest])
+        cc = connected_components(m, n, edges[remaining])
+        assert cc.num_components == 2
+
+
+class TestStepAccountingAcrossPipelines:
+    def test_steps_accumulate_monotonically(self, rng):
+        m = Machine("scan", seed=6)
+        checkpoints = [m.steps]
+        split_radix_sort(m.vector(rng.integers(0, 100, 64)))
+        checkpoints.append(m.steps)
+        scans.plus_scan(m.vector(range(10)))
+        checkpoints.append(m.steps)
+        ops.pack(m.vector(range(10)), m.flags([1, 0] * 5))
+        checkpoints.append(m.steps)
+        assert checkpoints == sorted(checkpoints)
+        assert checkpoints[-1] > checkpoints[0]
+
+    def test_measure_isolates_each_stage(self, rng):
+        m = Machine("scan", seed=7)
+        data = rng.integers(0, 1000, 128)
+        with m.measure() as r1:
+            split_radix_sort(m.vector(data))
+        with m.measure() as r2:
+            scans.plus_scan(m.vector(data))
+        assert r2.delta.steps == 1
+        assert r1.delta.steps > r2.delta.steps
+        assert m.steps == r1.delta.steps + r2.delta.steps

@@ -1,0 +1,102 @@
+"""k-d tree construction (Table 1)."""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms.kd_tree import build_kd_tree
+
+
+class TestStructure:
+    def test_small_fixed(self):
+        pts = np.array([[2, 3], [5, 4], [9, 6], [4, 7], [8, 1], [7, 2]])
+        t = build_kd_tree(Machine("scan"), pts)
+        assert sorted(t.order.tolist()) == list(range(6))
+        t.validate()
+
+    def test_empty_and_singleton(self):
+        t = build_kd_tree(Machine("scan"), np.empty((0, 2), dtype=int))
+        assert len(t.order) == 0
+        t1 = build_kd_tree(Machine("scan"), [(5, 5)])
+        assert t1.order.tolist() == [0]
+        t1.validate()
+
+    def test_power_of_two_and_odd_sizes(self):
+        rng = np.random.default_rng(0)
+        for n in (2, 3, 7, 16, 33, 100):
+            pts = rng.integers(0, 1000, (n, 2))
+            t = build_kd_tree(Machine("scan"), pts)
+            assert sorted(t.order.tolist()) == list(range(n))
+            t.validate()
+
+    def test_duplicate_coordinates(self):
+        pts = [(1, 1)] * 8 + [(2, 2)] * 8
+        t = build_kd_tree(Machine("scan"), pts)
+        t.validate()
+
+    def test_levels_alternate_axes(self):
+        rng = np.random.default_rng(1)
+        t = build_kd_tree(Machine("scan"), rng.integers(0, 100, (64, 2)))
+        axes = [lvl.axis for lvl in t.levels]
+        assert axes == [i % 2 for i in range(len(axes))]
+
+    def test_level_segment_counts_double(self):
+        rng = np.random.default_rng(2)
+        t = build_kd_tree(Machine("scan"), rng.integers(0, 10**6, (128, 2)))
+        sizes = [len(lvl.heads) for lvl in t.levels]
+        for a, b in zip(sizes, sizes[1:]):
+            assert b <= 2 * a
+            assert b > a
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_validation(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 400))
+        pts = rng.integers(-10**4, 10**4, (n, 2))
+        t = build_kd_tree(Machine("scan"), pts)
+        t.validate()
+
+
+class TestHigherDimensions:
+    @pytest.mark.parametrize("dims", [1, 3, 4])
+    def test_arbitrary_dimension(self, dims):
+        rng = np.random.default_rng(dims)
+        pts = rng.integers(0, 1000, (150, dims))
+        t = build_kd_tree(Machine("scan"), pts)
+        assert sorted(t.order.tolist()) == list(range(150))
+        t.validate()
+
+    def test_axes_cycle_through_all_dims(self):
+        rng = np.random.default_rng(9)
+        t = build_kd_tree(Machine("scan"), rng.integers(0, 10**5, (64, 3)))
+        axes = [lvl.axis for lvl in t.levels]
+        assert axes == [i % 3 for i in range(len(axes))]
+
+    def test_3d_duplicate_heavy(self):
+        rng = np.random.default_rng(10)
+        pts = rng.integers(0, 3, (120, 3))  # many ties on every axis
+        t = build_kd_tree(Machine("scan"), pts)
+        t.validate()
+
+
+class TestComplexity:
+    def test_steps_scale_gently(self):
+        """Each level is O(1) steps after the two sorts, so steps grow like
+        lg n (plus the sort's bit count), far from n."""
+        rng = np.random.default_rng(3)
+
+        def steps(n):
+            m = Machine("scan")
+            build_kd_tree(m, rng.integers(0, 2**12, (n, 2)))
+            return m.steps
+
+        s_small, s_big = steps(128), steps(1024)
+        assert s_big < 2.2 * s_small
+
+    def test_scan_beats_erew(self):
+        rng = np.random.default_rng(4)
+        pts = rng.integers(0, 2**10, (256, 2))
+        ms = Machine("scan")
+        build_kd_tree(ms, pts)
+        me = Machine("erew")
+        build_kd_tree(me, pts)
+        assert me.steps > 2 * ms.steps

@@ -1,0 +1,104 @@
+"""Line drawing by processor allocation (Section 2.4.1, Figure 9)."""
+import numpy as np
+import pytest
+
+from repro import CapabilityError, Machine
+from repro.algorithms.line_drawing import draw_lines, render
+from repro.baselines import dda_line
+
+
+class TestFigure9:
+    ENDPOINTS = [[11, 2, 23, 14], [2, 13, 13, 8], [16, 4, 31, 4]]
+
+    def test_pixel_counts(self):
+        """The paper says 12/11/16 pixels; including both endpoints the DDA
+        step counts are 13/12/16 (the horizontal line's count matches
+        because the paper counted it inclusively)."""
+        m = Machine("scan")
+        d = draw_lines(m, self.ENDPOINTS)
+        assert d.counts.to_list() == [13, 12, 16]
+
+    def test_pixels_match_serial_dda(self):
+        m = Machine("scan")
+        d = draw_lines(m, self.ENDPOINTS)
+        got = d.pixels().tolist()
+        expect = []
+        for x0, y0, x1, y1 in self.ENDPOINTS:
+            expect.extend(dda_line(x0, y0, x1, y1))
+        assert [tuple(p) for p in got] == expect
+
+    def test_render_requires_concurrent_write(self):
+        m = Machine("scan")
+        d = draw_lines(m, self.ENDPOINTS)
+        with pytest.raises(CapabilityError):
+            render(d, 32, 16)
+
+    def test_render_on_permissive_machine(self):
+        m = Machine("scan", allow_concurrent_write=True)
+        d = draw_lines(m, self.ENDPOINTS)
+        grid = render(d, 32, 16)
+        assert grid.shape == (16, 32)
+        assert grid.sum() == len({tuple(p) for p in d.pixels().tolist()})
+        assert grid[2, 11] and grid[14, 23] and grid[4, 31]
+
+
+class TestGeneral:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_lines_match_dda(self, seed):
+        rng = np.random.default_rng(seed)
+        lines = rng.integers(0, 64, (int(rng.integers(1, 12)), 4))
+        m = Machine("scan")
+        d = draw_lines(m, lines)
+        expect = []
+        for x0, y0, x1, y1 in lines:
+            expect.extend(dda_line(int(x0), int(y0), int(x1), int(y1)))
+        assert [tuple(p) for p in d.pixels().tolist()] == expect
+
+    def test_degenerate_point(self):
+        m = Machine("scan")
+        d = draw_lines(m, [[5, 5, 5, 5]])
+        assert d.counts.to_list() == [1]
+        assert d.pixels().tolist() == [[5, 5]]
+
+    def test_vertical_and_horizontal(self):
+        m = Machine("scan")
+        d = draw_lines(m, [[3, 0, 3, 4], [0, 2, 4, 2]])
+        px = d.pixels().tolist()
+        assert px[:5] == [[3, 0], [3, 1], [3, 2], [3, 3], [3, 4]]
+        assert px[5:] == [[0, 2], [1, 2], [2, 2], [3, 2], [4, 2]]
+
+    def test_negative_direction(self):
+        m = Machine("scan")
+        d = draw_lines(m, [[4, 4, 0, 0]])
+        assert d.pixels().tolist() == [[4 - i, 4 - i] for i in range(5)]
+
+    def test_endpoint_shape_checked(self):
+        with pytest.raises(ValueError, match=r"\(L, 4\)"):
+            draw_lines(Machine("scan"), [[1, 2, 3]])
+
+    def test_render_bounds_checked(self):
+        m = Machine("scan", allow_concurrent_write=True)
+        d = draw_lines(m, [[0, 0, 10, 0]])
+        with pytest.raises(ValueError, match="outside"):
+            render(d, 5, 5)
+
+
+class TestComplexity:
+    def test_constant_steps(self):
+        """O(1) steps regardless of the number of lines or pixels."""
+        def steps(n_lines, length):
+            m = Machine("scan")
+            lines = [[0, i, length, i] for i in range(n_lines)]
+            with m.measure() as r:
+                draw_lines(m, lines)
+            return r.delta.steps
+
+        assert steps(2, 10) == steps(50, 200)
+
+    def test_erew_pays_log_factor(self):
+        lines = [[0, i, 100, i] for i in range(20)]
+        ms = Machine("scan")
+        draw_lines(ms, lines)
+        me = Machine("erew")
+        draw_lines(me, lines)
+        assert me.steps > 2 * ms.steps

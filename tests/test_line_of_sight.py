@@ -1,0 +1,102 @@
+"""Line of sight (Table 1's O(1) row)."""
+import numpy as np
+import pytest
+
+from repro import CapabilityError, Machine
+from repro.algorithms.line_of_sight import line_of_sight_grid, visibility
+from repro.baselines import serial_line_of_sight
+
+
+class TestVisibilityCore:
+    def test_single_ray_rising(self):
+        m = Machine("scan")
+        alt = m.vector([1.0, 2.0, 3.0], dtype=float)
+        sf = m.flags([1, 0, 0])
+        dist = m.vector([1.0, 2.0, 3.0], dtype=float)
+        vis = visibility(alt, sf, dist, observer_altitude=0.0)
+        assert vis.to_list() == [True, False, False]  # same slope afterwards
+
+    def test_peak_blocks(self):
+        m = Machine("scan")
+        alt = m.vector([1.0, 10.0, 2.0, 3.0], dtype=float)
+        sf = m.flags([1, 0, 0, 0])
+        dist = m.vector([1.0, 2.0, 3.0, 4.0], dtype=float)
+        vis = visibility(alt, sf, dist, 0.0)
+        assert vis.to_list() == [True, True, False, False]
+
+    def test_multiple_rays_independent(self):
+        m = Machine("scan")
+        alt = m.vector([5.0, 1.0, 1.0, 9.0], dtype=float)
+        sf = m.flags([1, 0, 1, 0])
+        dist = m.vector([1.0, 2.0, 1.0, 2.0], dtype=float)
+        vis = visibility(alt, sf, dist, 0.0)
+        assert vis.to_list() == [True, False, True, True]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_serial_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        m = Machine("scan")
+        rays = []
+        alts, dists, flags = [], [], []
+        for _ in range(int(rng.integers(1, 6))):
+            k = int(rng.integers(1, 30))
+            a = rng.uniform(0, 100, k).tolist()
+            d = np.cumsum(rng.uniform(0.5, 2.0, k)).tolist()
+            rays.append((a, d))
+            alts.extend(a)
+            dists.extend(d)
+            flags.extend([True] + [False] * (k - 1))
+        vis = visibility(m.vector(alts, dtype=float), m.flags(flags),
+                         m.vector(dists, dtype=float), 10.0)
+        expect = [b for ray in serial_line_of_sight(None, rays, 10.0) for b in ray]
+        assert vis.to_list() == expect
+
+    def test_is_constant_steps(self):
+        """The Table 1 headline: O(1) program steps regardless of size."""
+        def steps(k):
+            m = Machine("scan")
+            alt = m.vector(np.arange(k, dtype=float), dtype=float)
+            sf = m.flags([True] + [False] * (k - 1))
+            dist = m.vector(np.arange(1, k + 1, dtype=float), dtype=float)
+            with m.measure() as r:
+                visibility(alt, sf, dist, 0.0)
+            return r.delta.steps
+
+        assert steps(64) == steps(4096)
+
+
+class TestGridWrapper:
+    def test_wall_blocks(self):
+        alt = np.zeros((17, 17))
+        alt[:, 8] = 5.0
+        m = Machine("scan", allow_concurrent_write=True)
+        vis = line_of_sight_grid(m, alt, (2, 8), observer_height=1.0)
+        assert vis[8, 2]          # observer sees itself
+        assert vis[8, 5]          # open ground before the wall
+        assert vis[8, 8]          # the wall crest
+        assert not vis[8, 12]     # shadowed behind the wall
+
+    def test_flat_terrain_all_visible(self):
+        alt = np.zeros((9, 9))
+        m = Machine("scan", allow_concurrent_write=True)
+        vis = line_of_sight_grid(m, alt, (4, 4), observer_height=2.0)
+        assert vis.all()
+
+    def test_requires_concurrent_write(self):
+        m = Machine("scan")
+        with pytest.raises(CapabilityError):
+            line_of_sight_grid(m, np.zeros((5, 5)), (2, 2))
+
+    def test_observer_must_be_inside(self):
+        m = Machine("scan", allow_concurrent_write=True)
+        with pytest.raises(ValueError, match="observer"):
+            line_of_sight_grid(m, np.zeros((5, 5)), (9, 2))
+
+    def test_hill_shadow_shape(self):
+        """A single hill column casts a shadow growing with distance."""
+        alt = np.zeros((1, 20))
+        alt[0, 5] = 10.0
+        m = Machine("scan", allow_concurrent_write=True)
+        vis = line_of_sight_grid(m, alt, (0, 0), observer_height=1.0)
+        assert vis[0, 5]
+        assert not vis[0, 6:].any()

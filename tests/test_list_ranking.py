@@ -1,0 +1,110 @@
+"""List ranking (pointer jumping + work-efficient splicing; Table 5)."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Machine
+from repro.algorithms.list_ranking import (
+    list_rank,
+    list_rank_and_tail,
+    list_rank_sampled,
+)
+
+
+def _random_lists(rng, n, n_lists):
+    """Successor array for n nodes arranged into n_lists disjoint lists;
+    returns (next, expected_rank, expected_tail)."""
+    perm = rng.permutation(n)
+    cuts = sorted(rng.choice(np.arange(1, n), size=min(n_lists - 1, n - 1),
+                             replace=False).tolist()) if n_lists > 1 and n > 1 else []
+    pieces = np.split(perm, cuts)
+    nxt = np.full(n, -1, dtype=np.int64)
+    rank = np.zeros(n, dtype=np.int64)
+    tail = np.zeros(n, dtype=np.int64)
+    for piece in pieces:
+        for i, node in enumerate(piece):
+            if i + 1 < len(piece):
+                nxt[node] = piece[i + 1]
+            rank[node] = len(piece) - 1 - i
+            tail[node] = piece[-1]
+    return nxt, rank, tail
+
+
+class TestPointerJumping:
+    def test_simple_chain(self):
+        m = Machine("scan")
+        nxt = m.vector([1, 2, 3, -1])
+        assert list_rank(nxt).to_list() == [3, 2, 1, 0]
+
+    def test_single_node(self):
+        m = Machine("scan")
+        assert list_rank(m.vector([-1])).to_list() == [0]
+
+    def test_empty(self):
+        m = Machine("scan")
+        assert list_rank(m.vector([])).to_list() == []
+
+    def test_tail_reporting(self):
+        m = Machine("scan")
+        rank, tail = list_rank_and_tail(m.vector([1, 2, -1, 4, -1]))
+        assert rank.to_list() == [2, 1, 0, 1, 0]
+        assert tail.to_list() == [2, 2, 2, 4, 4]
+
+    def test_bad_successor_rejected(self):
+        m = Machine("scan")
+        with pytest.raises(IndexError):
+            list_rank(m.vector([5]))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_lists(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 300))
+        nxt, rank, tail = _random_lists(rng, n, int(rng.integers(1, 6)))
+        m = Machine("scan")
+        got_rank, got_tail = list_rank_and_tail(m.vector(nxt))
+        assert got_rank.to_list() == rank.tolist()
+        assert got_tail.to_list() == tail.tolist()
+
+    def test_log_step_complexity(self):
+        def steps(n):
+            m = Machine("scan")
+            list_rank(m.vector(np.append(np.arange(1, n), -1)))
+            return m.steps
+
+        assert steps(4096) <= steps(1024) + 8  # only +2 rounds of 3 charges
+
+
+class TestSampledRanking:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_pointer_jumping(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 400))
+        nxt, rank, _ = _random_lists(rng, n, int(rng.integers(1, 5)))
+        m = Machine("scan", seed=seed)
+        got = list_rank_sampled(m.vector(nxt))
+        assert got.to_list() == rank.tolist()
+
+    def test_all_tails(self):
+        m = Machine("scan", seed=0)
+        got = list_rank_sampled(m.vector([-1] * 20))
+        assert got.to_list() == [0] * 20
+
+    def test_work_efficiency(self):
+        """Table 5's list-ranking row: pointer jumping with p = n
+        processors does Θ(n lg n) work, while splicing with p = n / lg n
+        does O(n) — the processor-step product drops."""
+        n = 65536
+        lg = 16
+        nxt = np.append(np.arange(1, n), -1)
+
+        m_jump = Machine("scan", seed=1)  # p = n
+        list_rank(m_jump.vector(nxt))
+        work_jump = n * m_jump.steps
+
+        p = n // lg
+        m_sample = Machine("scan", num_processors=p, seed=1)
+        list_rank_sampled(m_sample.vector(nxt))
+        work_sample = p * m_sample.steps
+
+        assert work_sample < work_jump

@@ -1,0 +1,133 @@
+"""Long-vector simulation (Figure 10): processor count changes charges,
+never results — and the charged costs follow the block formula."""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro._util import ceil_div, ceil_log2
+from repro.algorithms import (
+    connected_components,
+    convex_hull,
+    halving_merge,
+    minimum_spanning_tree,
+    quicksort,
+    split_radix_sort,
+)
+from repro.core import ops, scans, segmented
+from repro.graph import random_connected_graph
+
+PROCESSOR_COUNTS = (1, 3, 16, 10**9)
+
+
+class TestResultsIndependentOfP:
+    @pytest.mark.parametrize("p", PROCESSOR_COUNTS)
+    def test_radix_sort(self, p, rng):
+        data = rng.integers(0, 10**4, 200)
+        m = Machine("scan", num_processors=p)
+        assert split_radix_sort(m.vector(data)).to_list() == sorted(data.tolist())
+
+    @pytest.mark.parametrize("p", PROCESSOR_COUNTS)
+    def test_quicksort(self, p, rng):
+        data = rng.integers(0, 10**4, 150)
+        m = Machine("scan", num_processors=p, seed=1)
+        assert quicksort(m.vector(data)).to_list() == sorted(data.tolist())
+
+    @pytest.mark.parametrize("p", PROCESSOR_COUNTS)
+    def test_halving_merge(self, p, rng):
+        a = np.sort(rng.integers(0, 10**4, 120))
+        b = np.sort(rng.integers(0, 10**4, 80))
+        m = Machine("scan", num_processors=p)
+        merged, _ = halving_merge(m.vector(a), m.vector(b))
+        assert merged.to_list() == np.sort(np.concatenate((a, b))).tolist()
+
+    @pytest.mark.parametrize("p", (2, 32))
+    def test_mst(self, p, rng):
+        edges, weights = random_connected_graph(rng, 60, 80)
+        m = Machine("scan", num_processors=p, seed=2)
+        m_full = Machine("scan", seed=2)
+        assert (minimum_spanning_tree(m, 60, edges, weights).total_weight
+                == minimum_spanning_tree(m_full, 60, edges, weights).total_weight)
+
+    @pytest.mark.parametrize("p", (2, 32))
+    def test_connected_components(self, p, rng):
+        edges, _ = random_connected_graph(rng, 50, 60)
+        keep = rng.random(len(edges)) < 0.5
+        m = Machine("scan", num_processors=p, seed=3)
+        m_full = Machine("scan", seed=3)
+        assert (connected_components(m, 50, edges[keep]).labels.tolist()
+                == connected_components(m_full, 50, edges[keep]).labels.tolist())
+
+    @pytest.mark.parametrize("p", (2, 32))
+    def test_convex_hull(self, p, rng):
+        pts = rng.integers(-100, 100, (80, 2))
+        m = Machine("scan", num_processors=p)
+        m_full = Machine("scan")
+        assert (sorted(convex_hull(m, pts).hull_indices.tolist())
+                == sorted(convex_hull(m_full, pts).hull_indices.tolist()))
+
+
+class TestBlockCostFormulas:
+    @pytest.mark.parametrize("n,p", [(16, 4), (100, 7), (64, 64), (50, 200)])
+    def test_elementwise(self, n, p):
+        m = Machine("scan", num_processors=p)
+        _ = m.vector(range(n)) + 1
+        assert m.steps == ceil_div(n, min(p, n))
+
+    @pytest.mark.parametrize("n,p", [(16, 4), (100, 7), (1024, 32)])
+    def test_scan_formula(self, n, p):
+        m = Machine("scan", num_processors=p)
+        scans.plus_scan(m.vector(range(n)))
+        block = ceil_div(n, p)
+        assert m.steps == (2 * block + 1 if block > 1 else 1)
+
+    @pytest.mark.parametrize("n,p", [(64, 4), (100, 10)])
+    def test_erew_scan_formula(self, n, p):
+        m = Machine("erew", num_processors=p)
+        scans.plus_scan(m.vector(range(n)))
+        assert m.steps == 2 * ceil_div(n, p) + 2 * ceil_log2(p)
+
+    def test_segmented_ops_scale_with_blocks(self):
+        n = 1024
+        steps = {}
+        for p in (n, n // 8):
+            m = Machine("scan", num_processors=p)
+            v = m.vector(np.arange(n))
+            sf_arr = np.zeros(n, dtype=bool)
+            sf_arr[:: 16] = True
+            sf_arr[0] = True
+            segmented.seg_plus_scan(v, m.flags(sf_arr))
+            steps[p] = m.steps
+        assert steps[n // 8] > 4 * steps[n]
+
+    def test_pack_scales_with_blocks(self, rng):
+        n = 4096
+        data = rng.integers(0, 100, n)
+        keep = rng.random(n) < 0.5
+        m_few = Machine("scan", num_processors=n // 16)
+        ops.pack(m_few.vector(data), m_few.flags(keep))
+        m_full = Machine("scan")
+        ops.pack(m_full.vector(data), m_full.flags(keep))
+        assert m_few.steps > 8 * m_full.steps
+
+
+class TestWorkTradeoffs:
+    def test_steps_decrease_monotonically_with_more_processors(self, rng):
+        data = rng.integers(0, 2**10, 2048)
+        prev = None
+        for p in (16, 64, 256, 2048):
+            m = Machine("scan", num_processors=p)
+            split_radix_sort(m.vector(data), number_of_bits=10)
+            if prev is not None:
+                assert m.steps <= prev
+            prev = m.steps
+
+    def test_work_grows_with_more_processors_for_fixed_n(self, rng):
+        """Past the work-optimal point, extra processors only add work."""
+        a = np.sort(rng.integers(0, 10**6, 4096))
+        b = np.sort(rng.integers(0, 10**6, 4096))
+        works = []
+        for p in (64, 512, 8192):
+            m = Machine("scan", num_processors=p)
+            halving_merge(m.vector(a), m.vector(b))
+            works.append(p * m.steps)
+        assert works[2] > works[0]

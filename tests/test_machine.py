@@ -1,0 +1,189 @@
+"""Machine models: cost accounting, capabilities, long-vector simulation."""
+import numpy as np
+import pytest
+
+from repro import CapabilityError, Machine
+from repro._util import ceil_div, ceil_log2
+from repro.core import scans
+from repro.machine import CAPABILITIES, MODEL_NAMES, StepCounter
+
+
+class TestConstruction:
+    def test_models_available(self):
+        assert set(MODEL_NAMES) == {"erew", "crew", "crcw", "scan"}
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown machine model"):
+            Machine("pram")
+
+    def test_bad_processor_count_rejected(self):
+        with pytest.raises(ValueError):
+            Machine("scan", num_processors=0)
+
+    def test_capability_table(self):
+        assert CAPABILITIES["scan"].unit_scan
+        assert not CAPABILITIES["erew"].unit_scan
+        assert CAPABILITIES["crcw"].combining_write
+        assert CAPABILITIES["crew"].concurrent_read
+        assert not CAPABILITIES["crew"].concurrent_write
+
+    def test_repr_mentions_model(self):
+        assert "scan" in repr(Machine("scan"))
+
+
+class TestStepCharging:
+    def test_scan_is_one_step_on_scan_model(self):
+        m = Machine("scan")
+        scans.plus_scan(m.vector(range(1024)))
+        assert m.steps == 1
+
+    def test_scan_is_tree_cost_on_erew(self):
+        m = Machine("erew")
+        scans.plus_scan(m.vector(range(1024)))
+        assert m.steps == 2 * ceil_log2(1024)
+
+    def test_scan_cost_on_crcw_matches_erew(self):
+        a, b = Machine("erew"), Machine("crcw")
+        scans.plus_scan(a.vector(range(100)))
+        scans.plus_scan(b.vector(range(100)))
+        assert a.steps == b.steps
+
+    def test_elementwise_is_one_step_everywhere(self):
+        for model in MODEL_NAMES:
+            m = Machine(model)
+            v = m.vector(range(50))
+            _ = v + 1
+            assert m.steps == 1, model
+
+    def test_broadcast_costs(self):
+        e = Machine("erew")
+        e.charge_broadcast(256)
+        assert e.counter.by_kind["broadcast"] == ceil_log2(256)
+        c = Machine("crcw")
+        c.charge_broadcast(256)
+        assert c.counter.by_kind["broadcast"] == 1
+        s = Machine("scan")
+        s.charge_broadcast(256)
+        assert s.counter.by_kind["broadcast"] == 1
+
+    def test_reduce_costs(self):
+        e = Machine("erew")
+        e.charge_reduce(256)
+        assert e.counter.by_kind["reduce"] == ceil_log2(256)
+        c = Machine("crcw")  # combining write: one step
+        c.charge_reduce(256)
+        assert c.counter.by_kind["reduce"] == 1
+
+    def test_ops_counted_identically_across_models(self):
+        """The same program issues the same primitive ops on every model;
+        only the charge differs."""
+        counts = {}
+        for model in MODEL_NAMES:
+            m = Machine(model, seed=7)
+            v = m.vector(range(64))
+            scans.plus_scan(v + 3)
+            counts[model] = m.counter.ops
+        assert len(set(counts.values())) == 1
+
+    def test_reset(self):
+        m = Machine("scan")
+        scans.plus_scan(m.vector(range(8)))
+        m.reset()
+        assert m.steps == 0 and m.counter.ops == 0
+
+
+class TestLongVectors:
+    def test_elementwise_block_cost(self):
+        m = Machine("scan", num_processors=4)
+        _ = m.vector(range(16)) + 1
+        assert m.steps == 4  # ceil(16/4)
+
+    def test_scan_block_cost(self):
+        m = Machine("scan", num_processors=4)
+        scans.plus_scan(m.vector(range(16)))
+        assert m.steps == 2 * 4 + 1  # serial blocks + one cross-scan
+
+    def test_erew_long_vector_scan(self):
+        m = Machine("erew", num_processors=4)
+        scans.plus_scan(m.vector(range(16)))
+        assert m.steps == 2 * 4 + 2 * ceil_log2(4)
+
+    def test_more_processors_than_elements(self):
+        m = Machine("scan", num_processors=1000)
+        scans.plus_scan(m.vector(range(16)))
+        assert m.steps == 1
+
+    def test_work_accounting(self):
+        m = Machine("scan", num_processors=8)
+        _ = m.vector(range(64)) * 2
+        assert m.processors == 8
+        assert m.work == 8 * m.steps
+
+    def test_processors_defaults_to_peak(self):
+        m = Machine("scan")
+        _ = m.vector(range(37)) + 1
+        assert m.processors == 37
+
+    def test_results_independent_of_processor_count(self, rng):
+        data = rng.integers(0, 100, 33)
+        full = scans.plus_scan(Machine("scan").vector(data)).to_list()
+        for p in (1, 2, 5, 16, 33):
+            m = Machine("scan", num_processors=p)
+            assert scans.plus_scan(m.vector(data)).to_list() == full
+
+
+class TestCapabilities:
+    def test_gather_duplicates_rejected_on_scan(self):
+        m = Machine("scan")
+        v = m.vector(range(4))
+        with pytest.raises(CapabilityError, match="concurrent read"):
+            v.gather(m.vector([0, 0, 1, 2]))
+
+    def test_gather_duplicates_ok_on_crew(self):
+        m = Machine("crew")
+        v = m.vector([10, 20, 30, 40])
+        out = v.gather(m.vector([0, 0, 1, 2]))
+        assert out.to_list() == [10, 10, 20, 30]
+
+    def test_combine_write_rejected_on_erew(self):
+        m = Machine("erew")
+        v = m.vector([1, 2, 3])
+        with pytest.raises(CapabilityError, match="concurrent write"):
+            v.combine_write(m.vector([0, 0, 1]), length=2)
+
+    def test_combine_write_allowed_when_opted_in(self):
+        m = Machine("scan", allow_concurrent_write=True)
+        v = m.vector([5, 3, 7])
+        out = v.combine_write(m.vector([0, 0, 1]), length=2, op="min")
+        assert out.to_list() == [3, 7]
+        assert m.concurrent_writes_used == 1
+
+    def test_combine_write_native_on_crcw(self):
+        m = Machine("crcw")
+        v = m.vector([5, 3, 7])
+        out = v.combine_write(m.vector([0, 0, 1]), length=2, op="min")
+        assert out.to_list() == [3, 7]
+        assert m.concurrent_writes_used == 0
+
+
+class TestStepCounter:
+    def test_negative_charge_rejected(self):
+        c = StepCounter()
+        with pytest.raises(ValueError):
+            c.charge("x", -1)
+
+    def test_snapshot_subtraction(self):
+        c = StepCounter()
+        c.charge("a", 5)
+        before = c.snapshot()
+        c.charge("b", 3)
+        delta = c.snapshot() - before
+        assert delta.steps == 3
+        assert delta.by_kind == {"b": 3}
+
+    def test_measure_context(self):
+        m = Machine("scan")
+        with m.measure() as r:
+            scans.plus_scan(m.vector(range(8)))
+        assert r.delta.steps == 1
+        assert r.delta.by_kind == {"scan": 1}

@@ -1,0 +1,141 @@
+"""Matrix algorithms (Table 1's matrix rows)."""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms.matrix import ParallelMatrix, mat_mul, mat_vec, solve
+
+
+class TestParallelMatrix:
+    def test_roundtrip(self, rng):
+        a = rng.standard_normal((4, 6))
+        pm = ParallelMatrix(Machine("scan"), a)
+        assert np.allclose(pm.to_array(), a)
+
+    def test_transpose(self, rng):
+        m = Machine("scan")
+        a = rng.standard_normal((3, 5))
+        pm = ParallelMatrix(m, a)
+        assert np.allclose(pm.transposed().to_array(), a.T)
+
+    def test_transpose_is_one_permute(self, rng):
+        m = Machine("scan")
+        pm = ParallelMatrix(m, rng.standard_normal((8, 8)))
+        with m.measure() as r:
+            pm.transposed()
+        assert r.delta.by_kind == {"permute": 1}
+
+    def test_broadcast_row(self, rng):
+        m = Machine("scan")
+        a = rng.standard_normal((4, 3))
+        pm = ParallelMatrix(m, a)
+        out = pm.broadcast_row(2).data.reshape(4, 3, order="F")
+        assert np.allclose(out, np.tile(a[2], (4, 1)))
+
+    def test_broadcast_col(self, rng):
+        m = Machine("scan")
+        a = rng.standard_normal((4, 3))
+        pm = ParallelMatrix(m, a)
+        out = pm.broadcast_col(1).data.reshape(4, 3, order="F")
+        assert np.allclose(out, np.tile(a[:, 1:2], (1, 3)))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            ParallelMatrix(Machine("scan"), np.zeros(4))
+
+
+class TestMatVec:
+    @pytest.mark.parametrize("shape", [(1, 1), (3, 3), (5, 8), (8, 5)])
+    def test_matches_numpy(self, rng, shape):
+        m = Machine("scan")
+        a = rng.standard_normal(shape)
+        x = rng.standard_normal(shape[1])
+        assert np.allclose(mat_vec(m, a, x).data, a @ x)
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            mat_vec(Machine("scan"), rng.standard_normal((3, 4)), np.zeros(3))
+
+    def test_constant_steps(self, rng):
+        """Table 1: vector-matrix in O(1) steps on the scan model."""
+        def steps(n):
+            m = Machine("scan")
+            mat_vec(m, rng.standard_normal((n, n)), rng.standard_normal(n))
+            return m.steps
+
+        assert steps(8) == steps(32)
+
+    def test_erew_pays_log(self, rng):
+        a = rng.standard_normal((32, 32))
+        x = rng.standard_normal(32)
+        ms = Machine("scan")
+        mat_vec(ms, a, x)
+        me = Machine("erew")
+        mat_vec(me, a, x)
+        assert me.steps > 2 * ms.steps
+
+
+class TestMatMul:
+    @pytest.mark.parametrize("shape", [((2, 2), (2, 2)), ((3, 4), (4, 5)),
+                                       ((6, 2), (2, 3))])
+    def test_matches_numpy(self, rng, shape):
+        m = Machine("scan")
+        a = rng.standard_normal(shape[0])
+        b = rng.standard_normal(shape[1])
+        assert np.allclose(mat_mul(m, a, b).to_array(), a @ b)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            mat_mul(Machine("scan"), rng.standard_normal((2, 3)),
+                    rng.standard_normal((2, 3)))
+
+    def test_linear_steps(self, rng):
+        """Table 1: O(n) steps for n x n matrices."""
+        def steps(n):
+            m = Machine("scan")
+            mat_mul(m, rng.standard_normal((n, n)), rng.standard_normal((n, n)))
+            return m.steps
+
+        s8, s16 = steps(8), steps(16)
+        assert 1.5 < s16 / s8 < 2.6  # linear in n
+
+
+class TestSolve:
+    @pytest.mark.parametrize("n", [1, 2, 5, 16, 31])
+    def test_matches_numpy(self, rng, n):
+        m = Machine("scan")
+        a = rng.standard_normal((n, n)) + n * np.eye(n)
+        b = rng.standard_normal(n)
+        x = solve(m, a, b)
+        assert np.allclose(x.data, np.linalg.solve(a, b), atol=1e-8)
+
+    def test_pivoting_handles_zero_diagonal(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        x = solve(Machine("scan"), a, [2.0, 3.0])
+        assert np.allclose(x.data, [3.0, 2.0])
+
+    def test_ill_conditioned_with_pivoting(self, rng):
+        """Partial pivoting keeps tiny-pivot systems accurate."""
+        a = np.array([[1e-12, 1.0], [1.0, 1.0]])
+        b = np.array([1.0, 2.0])
+        x = solve(Machine("scan"), a, b)
+        assert np.allclose(a @ x.data, b, atol=1e-6)
+
+    def test_singular_detected(self):
+        a = np.array([[1.0, 2.0], [2.0, 4.0]])
+        with pytest.raises(np.linalg.LinAlgError):
+            solve(Machine("scan"), a, [1.0, 1.0])
+
+    def test_shape_checked(self, rng):
+        with pytest.raises(ValueError):
+            solve(Machine("scan"), rng.standard_normal((3, 2)), np.zeros(3))
+
+    def test_linear_steps(self, rng):
+        def steps(n):
+            m = Machine("scan")
+            a = rng.standard_normal((n, n)) + n * np.eye(n)
+            solve(m, a, rng.standard_normal(n))
+            return m.steps
+
+        s8, s16 = steps(8), steps(16)
+        assert 1.5 < s16 / s8 < 2.6

@@ -1,0 +1,88 @@
+"""Maximal independent set (Table 1)."""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms.maximal_independent_set import maximal_independent_set
+
+
+def _check_mis(n, edges, in_set):
+    adj = {v: set() for v in range(n)}
+    for u, v in edges:
+        adj[int(u)].add(int(v))
+        adj[int(v)].add(int(u))
+    chosen = {v for v in range(n) if in_set[v]}
+    for v in chosen:  # independence
+        assert not (adj[v] & chosen), f"vertex {v} has a chosen neighbor"
+    for v in range(n):  # maximality
+        if v not in chosen:
+            assert adj[v] & chosen, f"vertex {v} could be added"
+
+
+class TestCorrectness:
+    def test_path_graph(self):
+        m = Machine("scan", seed=0)
+        edges = [(i, i + 1) for i in range(9)]
+        res = maximal_independent_set(m, 10, edges)
+        _check_mis(10, edges, res.in_set)
+
+    def test_star_graph(self):
+        m = Machine("scan", seed=1)
+        edges = [(0, i) for i in range(1, 8)]
+        res = maximal_independent_set(m, 8, edges)
+        _check_mis(8, edges, res.in_set)
+
+    def test_complete_graph(self):
+        m = Machine("scan", seed=2)
+        edges = [(i, j) for i in range(6) for j in range(i + 1, 6)]
+        res = maximal_independent_set(m, 6, edges)
+        assert res.in_set.sum() == 1
+        _check_mis(6, edges, res.in_set)
+
+    def test_no_edges_takes_everything(self):
+        m = Machine("scan")
+        res = maximal_independent_set(m, 5, np.empty((0, 2), dtype=int))
+        assert res.in_set.all()
+
+    def test_isolated_vertices_included(self):
+        m = Machine("scan", seed=3)
+        res = maximal_independent_set(m, 5, [(0, 1)])
+        assert res.in_set[2] and res.in_set[3] and res.in_set[4]
+        _check_mis(5, [(0, 1)], res.in_set)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 120))
+        edges = rng.integers(0, n, (int(rng.integers(1, 3 * n)), 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        edges = np.unique(np.sort(edges, axis=1), axis=0)
+        if len(edges) == 0:
+            return
+        m = Machine("scan", seed=seed)
+        res = maximal_independent_set(m, n, edges)
+        _check_mis(n, edges, res.in_set)
+
+
+class TestComplexity:
+    def test_rounds_logarithmic(self):
+        rng = np.random.default_rng(0)
+        n = 512
+        edges = rng.integers(0, n, (4 * n, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        edges = np.unique(np.sort(edges, axis=1), axis=0)
+        m = Machine("scan", seed=0)
+        res = maximal_independent_set(m, n, edges)
+        assert res.rounds <= 25
+
+    def test_scan_beats_erew(self):
+        rng = np.random.default_rng(1)
+        n = 256
+        edges = rng.integers(0, n, (3 * n, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        edges = np.unique(np.sort(edges, axis=1), axis=0)
+        ms = Machine("scan", seed=1)
+        maximal_independent_set(ms, n, edges)
+        me = Machine("erew", seed=1)
+        maximal_independent_set(me, n, edges)
+        assert me.steps > 2 * ms.steps

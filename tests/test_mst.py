@@ -1,0 +1,87 @@
+"""Random-mate minimum spanning tree (Section 2.3.3)."""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms.mst import minimum_spanning_tree
+from repro.baselines import kruskal_mst
+from repro.graph import random_connected_graph
+
+
+class TestCorrectness:
+    def test_tiny_triangle(self):
+        m = Machine("scan", seed=0)
+        res = minimum_spanning_tree(m, 3, [(0, 1), (1, 2), (0, 2)], [5, 1, 3])
+        assert res.total_weight == 4
+        assert sorted(res.edge_ids.tolist()) == [1, 2]
+
+    def test_two_vertices(self):
+        m = Machine("scan", seed=0)
+        res = minimum_spanning_tree(m, 2, [(0, 1)], [7])
+        assert res.total_weight == 7
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_kruskal(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 80))
+        edges, weights = random_connected_graph(rng, n, int(rng.integers(0, 2 * n)))
+        m = Machine("scan", seed=seed)
+        res = minimum_spanning_tree(m, n, edges, weights)
+        _, expect = kruskal_mst(n, edges, weights)
+        assert res.total_weight == expect
+        assert len(res.edge_ids) == n - 1
+        # the selected edges really span: union-find check
+        from repro.baselines.serial import _DSU
+        dsu = _DSU(n)
+        for e in res.edge_ids:
+            dsu.union(int(edges[e, 0]), int(edges[e, 1]))
+        assert len({dsu.find(v) for v in range(n)}) == 1
+
+    def test_duplicate_weights(self):
+        """Ties broken by edge id still yield a minimum tree."""
+        m = Machine("scan", seed=1)
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0)]
+        weights = [1, 1, 1, 1]
+        res = minimum_spanning_tree(m, 4, edges, weights)
+        assert res.total_weight == 3
+        assert len(res.edge_ids) == 3
+
+    def test_spanning_forest_of_disconnected_graph(self):
+        m = Machine("scan", seed=2)
+        edges = [(0, 1), (1, 2), (3, 4)]
+        res = minimum_spanning_tree(m, 5, edges, [4, 2, 9])
+        assert res.total_weight == 15
+        assert len(res.edge_ids) == 3
+
+    def test_runs_on_all_machine_models(self, any_machine):
+        rng = np.random.default_rng(5)
+        edges, weights = random_connected_graph(rng, 20, 20)
+        res = minimum_spanning_tree(any_machine, 20, edges, weights)
+        _, expect = kruskal_mst(20, edges, weights)
+        assert res.total_weight == expect
+
+
+class TestComplexity:
+    def test_rounds_logarithmic(self):
+        """O(lg n) star-merge rounds with high probability."""
+        rng = np.random.default_rng(0)
+        edges, weights = random_connected_graph(rng, 512, 1024)
+        m = Machine("scan", seed=0)
+        res = minimum_spanning_tree(m, 512, edges, weights)
+        assert res.rounds <= 40  # lg 512 = 9; generous slack for coin flips
+
+    def test_scan_model_beats_erew_by_log_factor(self):
+        rng = np.random.default_rng(1)
+        edges, weights = random_connected_graph(rng, 256, 512)
+        ms = Machine("scan", seed=1)
+        minimum_spanning_tree(ms, 256, edges, weights)
+        me = Machine("erew", seed=1)
+        minimum_spanning_tree(me, 256, edges, weights)
+        assert me.steps > 3 * ms.steps
+
+    def test_round_cap_raises(self):
+        rng = np.random.default_rng(2)
+        edges, weights = random_connected_graph(rng, 40, 40)
+        m = Machine("scan", seed=2)
+        with pytest.raises(RuntimeError, match="rounds"):
+            minimum_spanning_tree(m, 40, edges, weights, max_rounds=1)

@@ -1,0 +1,160 @@
+"""The SegmentedVector nested-vector facade."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Machine
+from repro.core.nested import SegmentedVector
+
+nested_case = st.lists(
+    st.lists(st.integers(-1000, 1000), min_size=1, max_size=12),
+    min_size=1, max_size=10)
+
+
+def _m():
+    return Machine("scan")
+
+
+class TestConstruction:
+    def test_roundtrip(self):
+        data = [[5, 1], [3, 4, 3, 9], [2, 6]]
+        sv = SegmentedVector.from_nested(_m(), data)
+        assert sv.to_nested() == data
+        assert len(sv) == 3
+        assert sv.flat_length == 8
+        assert sv.lengths().tolist() == [2, 4, 2]
+
+    @given(nested_case)
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert SegmentedVector.from_nested(_m(), data).to_nested() == data
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            SegmentedVector.from_nested(_m(), [[1], []])
+
+    def test_from_lengths(self):
+        m = _m()
+        sv = SegmentedVector.from_lengths(m.vector([1, 2, 3, 4, 5]), [2, 3])
+        assert sv.to_nested() == [[1, 2], [3, 4, 5]]
+
+
+class TestScansAndDistributes:
+    def test_plus_scan(self):
+        sv = SegmentedVector.from_nested(_m(), [[5, 1], [3, 4, 3, 9], [2, 6]])
+        assert sv.plus_scan().to_nested() == [[0, 5], [0, 3, 7, 10], [0, 2]]
+
+    def test_max_scan(self):
+        sv = SegmentedVector.from_nested(_m(), [[5, 1, 3], [4, 3, 9]])
+        assert sv.max_scan(identity=0).to_nested() == [[0, 5, 5], [0, 4, 4]]
+
+    def test_back_plus_scan(self):
+        sv = SegmentedVector.from_nested(_m(), [[1, 2, 3], [4, 5]])
+        assert sv.back_plus_scan().to_nested() == [[5, 3, 0], [5, 0]]
+
+    def test_copy_first(self):
+        sv = SegmentedVector.from_nested(_m(), [[7, 1, 2], [9, 3]])
+        assert sv.copy_first().to_nested() == [[7, 7, 7], [9, 9]]
+
+    def test_index(self):
+        sv = SegmentedVector.from_nested(_m(), [[7, 1, 2], [9, 3]])
+        assert sv.index().to_nested() == [[0, 1, 2], [0, 1]]
+
+    @given(nested_case)
+    @settings(max_examples=40, deadline=None)
+    def test_reductions(self, data):
+        sv = SegmentedVector.from_nested(_m(), data)
+        assert sv.sums().to_list() == [sum(seg) for seg in data]
+        assert sv.maxima().to_list() == [max(seg) for seg in data]
+        assert sv.minima().to_list() == [min(seg) for seg in data]
+
+    @given(nested_case)
+    @settings(max_examples=30, deadline=None)
+    def test_distributes(self, data):
+        sv = SegmentedVector.from_nested(_m(), data)
+        assert sv.sum_distribute().to_nested() == \
+            [[sum(seg)] * len(seg) for seg in data]
+        assert sv.min_distribute().to_nested() == \
+            [[min(seg)] * len(seg) for seg in data]
+
+
+class TestElementwise:
+    def test_map(self):
+        sv = SegmentedVector.from_nested(_m(), [[1, 2], [3]])
+        assert sv.map(lambda v: v * 10).to_nested() == [[10, 20], [30]]
+
+    def test_map_must_preserve_length(self):
+        sv = SegmentedVector.from_nested(_m(), [[1, 2]])
+        with pytest.raises(ValueError):
+            sv.map(lambda v: 5)
+
+    def test_add_scalar_and_nested(self):
+        sv = SegmentedVector.from_nested(_m(), [[1, 2], [3]])
+        assert (sv + 1).to_nested() == [[2, 3], [4]]
+        assert (sv + sv).to_nested() == [[2, 4], [6]]
+        assert (sv * 2).to_nested() == [[2, 4], [6]]
+
+
+class TestStructureChanges:
+    def test_split(self):
+        m = _m()
+        sv = SegmentedVector.from_nested(m, [[3, 8, 1, 6], [9, 2]])
+        big = sv.values > 5
+        assert sv.split(big).to_nested() == [[3, 1, 8, 6], [2, 9]]
+
+    def test_pack_drops_and_removes_empty_segments(self):
+        m = _m()
+        sv = SegmentedVector.from_nested(m, [[3, 8], [1, 1], [9, 2]])
+        keep = sv.values > 2
+        packed = sv.pack(keep)
+        assert packed.to_nested() == [[3, 8], [9]]
+        assert len(packed) == 2
+
+    def test_pack_everything_away(self):
+        m = _m()
+        sv = SegmentedVector.from_nested(m, [[1], [2]])
+        packed = sv.pack(sv.values > 99)
+        assert packed.to_nested() == []
+        assert packed.flat_length == 0
+
+    def test_concat_segments(self):
+        m = _m()
+        a = SegmentedVector.from_nested(m, [[1, 2]])
+        b = SegmentedVector.from_nested(m, [[3], [4, 5]])
+        assert a.concat_segments(b).to_nested() == [[1, 2], [3], [4, 5]]
+
+    @given(nested_case, st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_pack_property(self, data, seed):
+        m = _m()
+        sv = SegmentedVector.from_nested(m, data)
+        rng = np.random.default_rng(seed)
+        keep_mask = rng.random(sv.flat_length) < 0.6
+        packed = sv.pack(m.flags(keep_mask))
+        expect, i = [], 0
+        for seg in data:
+            kept = [x for x in seg if keep_mask[i + seg.index(x)] or True]
+            kept = [x for j, x in enumerate(seg) if keep_mask[i + j]]
+            if kept:
+                expect.append(kept)
+            i += len(seg)
+        assert packed.to_nested() == expect
+
+
+class TestCharging:
+    def test_facade_adds_no_steps(self):
+        """The facade's plus_scan charges exactly what the raw segmented
+        call charges."""
+        from repro.core import segmented
+
+        data = [[1, 2, 3], [4, 5], [6]]
+        m1 = _m()
+        SegmentedVector.from_nested(m1, data).plus_scan()
+        facade_steps = m1.steps
+        m2 = _m()
+        sv = SegmentedVector.from_nested(m2, data)
+        before = m2.steps
+        segmented.seg_plus_scan(sv.values, sv.seg_flags)
+        raw_steps = m2.steps - before + before  # total incl. construction
+        assert facade_steps == raw_steps

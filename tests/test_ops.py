@@ -1,0 +1,166 @@
+"""Simple operations (Section 2.2), allocation (2.4), load balancing (2.5)."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Machine
+from repro.core import ops, scans
+
+
+def _m():
+    return Machine("scan")
+
+
+class TestEnumerate:
+    def test_paper_figure1(self):
+        f = _m().flags([1, 0, 0, 1, 0, 1, 1, 0])
+        assert ops.enumerate_(f).to_list() == [0, 1, 1, 1, 2, 2, 3, 4]
+
+    @given(st.lists(st.booleans(), max_size=150))
+    @settings(max_examples=50, deadline=None)
+    def test_enumerate_numbers_true_elements(self, xs):
+        out = ops.enumerate_(_m().flags(xs)).to_list()
+        count = 0
+        for i, x in enumerate(xs):
+            assert out[i] == count
+            count += x
+
+    def test_back_enumerate(self):
+        f = _m().flags([1, 0, 1, 1])
+        assert ops.back_enumerate(f).to_list() == [2, 2, 1, 0]
+
+    def test_count(self):
+        assert ops.count(_m().flags([1, 0, 1, 1])) == 3
+
+
+class TestCopy:
+    def test_paper_figure1(self):
+        v = _m().vector([5, 1, 3, 4, 3, 9, 2, 6])
+        assert ops.copy_(v).to_list() == [5] * 8
+
+    def test_copy_empty(self):
+        assert ops.copy_(_m().vector([])).to_list() == []
+
+    def test_copy_is_one_step_on_scan_model(self):
+        m = _m()
+        ops.copy_(m.vector(range(1024)))
+        assert m.steps == 1
+
+
+class TestSplit:
+    def test_paper_figure3(self):
+        m = _m()
+        a = m.vector([5, 7, 3, 1, 4, 2, 7, 2])
+        f = m.flags([1, 1, 1, 1, 0, 0, 1, 0])
+        assert ops.split(a, f).to_list() == [4, 2, 2, 5, 7, 3, 1, 7]
+
+    @given(st.lists(st.integers(0, 100), max_size=120))
+    @settings(max_examples=50, deadline=None)
+    def test_split_stability(self, xs):
+        m = _m()
+        v = m.vector(xs)
+        flags = (v % 2) == 1
+        out = ops.split(v, flags).to_list()
+        expect = [x for x in xs if x % 2 == 0] + [x for x in xs if x % 2 == 1]
+        assert out == expect
+
+    def test_split_requires_boolean_flags(self):
+        m = _m()
+        with pytest.raises(TypeError):
+            ops.split(m.vector([1, 2]), m.vector([1, 0]))
+
+    def test_split3(self):
+        m = _m()
+        v = m.vector([5, 1, 9, 3, 7, 0])
+        lesser = v < 3
+        equal = (v >= 3) & (v < 7)
+        out = ops.split3(v, lesser, equal).to_list()
+        assert out == [1, 0, 5, 3, 9, 7]
+
+
+class TestPack:
+    def test_pack_basic(self):
+        m = _m()
+        v = m.vector([10, 20, 30, 40])
+        f = m.flags([1, 0, 1, 0])
+        assert ops.pack(v, f).to_list() == [10, 30]
+
+    def test_pack_none(self):
+        m = _m()
+        assert ops.pack(m.vector([1, 2]), m.flags([0, 0])).to_list() == []
+
+    def test_pack_preserves_order(self, rng):
+        m = _m()
+        data = rng.integers(0, 1000, 200)
+        keep = rng.random(200) < 0.3
+        out = ops.pack(m.vector(data), m.flags(keep))
+        assert out.to_list() == data[keep].tolist()
+
+    def test_load_balance_is_pack(self, rng):
+        m = Machine("scan", num_processors=8)
+        data = rng.integers(0, 100, 64)
+        keep = rng.random(64) < 0.5
+        out = ops.load_balance(m.vector(data), m.flags(keep))
+        assert out.to_list() == data[keep].tolist()
+
+
+class TestAllocate:
+    def test_paper_figure8(self):
+        m = _m()
+        counts = m.vector([4, 1, 3])
+        seg_flags, hpointers = ops.allocate(m, counts)
+        assert hpointers.to_list() == [0, 4, 5]
+        assert seg_flags.to_list() == [True, False, False, False, True,
+                                       True, False, False]
+
+    def test_allocate_with_zero_counts(self):
+        m = _m()
+        seg_flags, hpointers = ops.allocate(m, m.vector([2, 0, 1]))
+        assert seg_flags.to_list() == [True, False, True]
+
+    def test_allocate_rejects_negative(self):
+        m = _m()
+        with pytest.raises(ValueError):
+            ops.allocate(m, m.vector([1, -1]))
+
+    def test_distribute_to_segments_figure8(self):
+        m = _m()
+        values = m.vector([11, 22, 33])
+        counts = m.vector([4, 1, 3])
+        dist, seg_flags = ops.distribute_to_segments(values, counts)
+        assert dist.to_list() == [11, 11, 11, 11, 22, 33, 33, 33]
+
+    @given(st.lists(st.integers(0, 6), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_distribute_property(self, counts):
+        m = _m()
+        values = m.vector(np.arange(len(counts)) * 10)
+        dist, _ = ops.distribute_to_segments(values, m.vector(counts))
+        expect = [i * 10 for i, c in enumerate(counts) for _ in range(c)]
+        assert dist.to_list() == expect
+
+    def test_allocation_cost_constant(self):
+        """Allocation is O(1) steps on the scan model (vs Θ(lg n) EREW)."""
+        m = _m()
+        ops.allocate(m, m.vector([3] * 1000))
+        scan_steps = m.steps
+        e = Machine("erew")
+        ops.allocate(e, e.vector([3] * 1000))
+        assert scan_steps < e.steps
+
+
+class TestConcat:
+    def test_concat(self):
+        m = _m()
+        out = ops.concat(m.vector([1, 2]), m.vector([3]))
+        assert out.to_list() == [1, 2, 3]
+
+    def test_concat_free(self):
+        m = _m()
+        ops.concat(m.vector([1]), m.vector([2]))
+        assert m.steps == 0
+
+    def test_concat_across_machines_rejected(self):
+        with pytest.raises(ValueError):
+            ops.concat(Machine("scan").vector([1]), Machine("scan").vector([2]))

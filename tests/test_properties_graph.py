@@ -1,0 +1,122 @@
+"""Hypothesis property suites for the graph layer: representation
+invariants survive arbitrary builds, star merges, and subgraph filters."""
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import Machine
+from repro.baselines import union_find_components
+from repro.graph import from_edges, star_merge
+
+
+@st.composite
+def graph_case(draw):
+    """A random simple graph where every vertex has degree >= 1."""
+    n = draw(st.integers(2, 24))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    k = draw(st.integers(1, min(len(possible), 40)))
+    idx = draw(st.permutations(range(len(possible))))
+    edges = sorted(possible[i] for i in idx[:k])
+    covered = {v for e in edges for v in e}
+    # attach any uncovered vertices
+    for v in range(n):
+        if v not in covered:
+            other = (v + 1) % n if (v + 1) % n != v else 0
+            e = (min(v, other), max(v, other))
+            if e not in edges:
+                edges.append(e)
+    edges = sorted(set(edges))
+    weights = draw(st.permutations(range(len(edges))))
+    return n, np.array(edges, dtype=np.int64), np.array(weights, dtype=np.int64)
+
+
+class TestRepresentationProperties:
+    @given(graph_case())
+    @settings(max_examples=40, deadline=None)
+    def test_build_invariants(self, case):
+        n, edges, weights = case
+        g = from_edges(Machine("scan"), n, edges, weights=weights)
+        g.validate()
+        assert g.num_slots == 2 * len(edges)
+        assert g.to_edge_set() == {tuple(e) for e in edges.tolist()}
+        assert int(g.degrees().sum()) == 2 * len(edges)
+
+    @given(graph_case())
+    @settings(max_examples=30, deadline=None)
+    def test_neighbor_sum_equals_adjacency_product(self, case):
+        n, edges, weights = case
+        m = Machine("scan")
+        g = from_edges(m, n, edges, weights=weights)
+        vals = np.arange(1, n + 1, dtype=np.int64)
+        got = g.neighbor_reduce(m.vector(vals), "sum").data
+        adj = np.zeros((n, n), dtype=np.int64)
+        for u, v in edges:
+            adj[u, v] += 1
+            adj[v, u] += 1
+        assert np.array_equal(got, adj @ vals)
+
+    @given(graph_case(), st.integers(0, 2**30))
+    @settings(max_examples=30, deadline=None)
+    def test_subgraph_invariants(self, case, seed):
+        n, edges, weights = case
+        m = Machine("scan")
+        g = from_edges(m, n, edges, weights=weights)
+        keep = np.random.default_rng(seed).random(n) < 0.7
+        sub = g.subgraph(m.flags(keep))
+        sub.validate()
+        expect = {tuple(e) for e in edges.tolist() if keep[e[0]] and keep[e[1]]}
+        got = set()
+        seg_id = np.cumsum(sub.seg_flags.data) - 1 if sub.num_slots else []
+        for s in range(sub.num_slots):
+            a = sub.vertex_reps[seg_id[s]]
+            b = sub.vertex_reps[seg_id[sub.cross_pointers.data[s]]]
+            got.add((min(int(a), int(b)), max(int(a), int(b))))
+        assert got == expect
+
+
+class TestStarMergeProperties:
+    @given(graph_case(), st.integers(0, 2**30))
+    @settings(max_examples=30, deadline=None)
+    def test_merge_preserves_connectivity(self, case, seed):
+        """Star merging never changes which original vertices are
+        connected: contract, then compare the quotient connectivity."""
+        n, edges, weights = case
+        rng = np.random.default_rng(seed)
+        m = Machine("scan")
+        g = from_edges(m, n, edges, weights=weights)
+
+        parent = rng.integers(0, 2, n).astype(bool)
+        adj = {v: [] for v in range(n)}
+        for ei, (u, v) in enumerate(edges):
+            adj[int(u)].append((int(weights[ei]), ei, int(v)))
+            adj[int(v)].append((int(weights[ei]), ei, int(u)))
+        star_ids, child_of = [], {}
+        for v in range(n):
+            if parent[v] or not adj[v]:
+                continue
+            _, ei, other = min(adj[v])
+            if parent[other]:
+                star_ids.append(ei)
+                child_of[v] = other
+        effective = parent.copy()
+        for v in range(n):
+            if not parent[v] and v not in child_of:
+                effective[v] = True
+
+        eid = g.slot_data["edge_id"].data
+        res = star_merge(g, m.flags(np.isin(eid, star_ids)), m.flags(effective))
+        res.graph.validate()
+
+        # quotient connectivity must match the original's
+        rep = {v: child_of.get(v, v) for v in range(n)}
+        orig = union_find_components(n, edges)
+        quotient_edges = [(rep[int(u)], rep[int(v)]) for u, v in edges]
+        quotient = union_find_components(n, quotient_edges)
+        # two original vertices are in the same original component iff
+        # their representatives share a quotient component
+        for v in range(n):
+            for w in range(v + 1, n):
+                same_orig = orig[v] == orig[w]
+                same_quot = quotient[rep[v]] == quotient[rep[w]]
+                assert same_orig == same_quot

@@ -1,0 +1,94 @@
+"""Segmented parallel quicksort (Section 2.3.1)."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Machine
+from repro.algorithms.quicksort import QuicksortTrace, quicksort
+
+
+class TestCorrectness:
+    @given(st.lists(st.integers(-10**6, 10**6), max_size=250))
+    @settings(max_examples=40, deadline=None)
+    def test_sorts(self, xs):
+        m = Machine("scan", seed=1)
+        assert quicksort(m.vector(xs)).to_list() == sorted(xs)
+
+    def test_floats(self, rng):
+        m = Machine("scan", seed=2)
+        data = rng.standard_normal(200)
+        out = quicksort(m.vector(data, dtype=np.float64))
+        assert out.to_list() == sorted(data.tolist())
+
+    def test_empty_and_singleton(self):
+        m = Machine("scan")
+        assert quicksort(m.vector([])).to_list() == []
+        assert quicksort(m.vector([5])).to_list() == [5]
+
+    def test_already_sorted_exits_immediately(self):
+        m = Machine("scan", seed=3)
+        with m.measure() as r:
+            quicksort(m.vector(list(range(100))))
+        # one sortedness check, no split work
+        assert r.delta.by_kind.get("scan", 0) <= 1
+
+    def test_all_equal(self):
+        m = Machine("scan", seed=4)
+        assert quicksort(m.vector([3] * 50)).to_list() == [3] * 50
+
+    def test_reverse_sorted(self):
+        m = Machine("scan", seed=5)
+        assert quicksort(m.vector(list(range(100, 0, -1)))).to_list() == \
+            list(range(1, 101))
+
+    def test_first_pivot_rule(self):
+        m = Machine("scan")
+        data = [6, 2, 9, 1, 5, 5, 8]
+        assert quicksort(m.vector(data), pivot="first").to_list() == sorted(data)
+
+    def test_unknown_pivot_rule(self):
+        m = Machine("scan")
+        with pytest.raises(ValueError, match="pivot"):
+            quicksort(m.vector([2, 1]), pivot="median")
+
+    def test_nonconvergence_guard(self):
+        m = Machine("scan", seed=6)
+        with pytest.raises(RuntimeError, match="converge"):
+            quicksort(m.vector([4, 3, 2, 1] * 10), max_iterations=1)
+
+
+class TestFigure5:
+    def test_trace_reproduces_paper(self):
+        """Figure 5's first-pivot trace on the paper's keys."""
+        m = Machine("scan")
+        keys = [6.4, 9.2, 3.4, 1.6, 8.7, 4.1, 9.2, 3.4]
+        trace = QuicksortTrace()
+        out = quicksort(m.vector(keys, dtype=np.float64), pivot="first", trace=trace)
+        assert out.to_list() == sorted(keys)
+        # iteration 1: single segment, pivot 6.4 everywhere
+        assert trace.pivots[0] == [6.4] * 8
+        assert trace.seg_flags[0] == [True] + [False] * 7
+        # iteration 2 operates on the split of Figure 5
+        assert trace.keys[1] == [3.4, 1.6, 4.1, 3.4, 6.4, 9.2, 8.7, 9.2]
+        assert trace.seg_flags[1] == [True, False, False, False, True,
+                                      True, False, False]
+        assert trace.pivots[1] == [3.4, 3.4, 3.4, 3.4, 6.4, 9.2, 9.2, 9.2]
+
+
+class TestComplexity:
+    def test_expected_log_iterations(self, rng):
+        """Random pivots: iterations grow like lg n, not n."""
+        m = Machine("scan", seed=7)
+        trace = QuicksortTrace()
+        data = rng.permutation(4096)
+        quicksort(m.vector(data), trace=trace)
+        assert trace.iterations <= 4 * 12  # 4 lg n is a generous bound
+
+    def test_scan_model_beats_erew(self, rng):
+        data = rng.permutation(512)
+        ms = Machine("scan", seed=8)
+        quicksort(ms.vector(data))
+        me = Machine("erew", seed=8)
+        quicksort(me.vector(data))
+        assert me.steps > 2 * ms.steps

@@ -1,0 +1,157 @@
+"""Split radix sort (Section 2.2.1)."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Machine
+from repro.algorithms.radix_sort import (
+    key_bits,
+    split_radix_sort,
+    split_radix_sort_float,
+    split_radix_sort_signed,
+    split_radix_sort_with_rank,
+)
+from repro.baselines import serial_sort
+
+
+def _m():
+    return Machine("scan")
+
+
+class TestPaperExample:
+    def test_figure2_trace(self):
+        """Figure 2: sorting [5 7 3 1 4 2 7 2] bit by bit."""
+        m = _m()
+        from repro.core import ops
+        a = m.vector([5, 7, 3, 1, 4, 2, 7, 2])
+        a = ops.split(a, a.bit(0))
+        assert a.to_list() == [4, 2, 2, 5, 7, 3, 1, 7]
+        a = ops.split(a, a.bit(1))
+        assert a.to_list() == [4, 5, 1, 2, 2, 7, 3, 7]
+        a = ops.split(a, a.bit(2))
+        assert a.to_list() == [1, 2, 2, 3, 4, 5, 7, 7]
+
+
+class TestCorrectness:
+    @given(st.lists(st.integers(0, 2**20), max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_sorts(self, xs):
+        out = split_radix_sort(_m().vector(xs))
+        assert out.to_list() == sorted(xs)
+
+    def test_empty_and_singleton(self):
+        assert split_radix_sort(_m().vector([])).to_list() == []
+        assert split_radix_sort(_m().vector([42])).to_list() == [42]
+
+    def test_all_equal(self):
+        assert split_radix_sort(_m().vector([7] * 20)).to_list() == [7] * 20
+
+    def test_explicit_bit_count(self):
+        out = split_radix_sort(_m().vector([3, 1, 2, 0]), number_of_bits=2)
+        assert out.to_list() == [0, 1, 2, 3]
+
+    def test_matches_serial_baseline(self, rng):
+        data = rng.integers(0, 10**6, 500)
+        out = split_radix_sort(_m().vector(data))
+        assert out.to_list() == serial_sort(data).tolist()
+
+    def test_stability_via_rank(self, rng):
+        """Equal keys keep their input order (radix sort is stable)."""
+        data = rng.integers(0, 8, 100)
+        sorted_v, rank = split_radix_sort_with_rank(_m().vector(data))
+        r = rank.data
+        for i in range(len(r) - 1):
+            if sorted_v.data[i] == sorted_v.data[i + 1]:
+                assert r[i] < r[i + 1]
+
+    def test_rank_is_sort_permutation(self, rng):
+        data = rng.integers(0, 1000, 80)
+        sorted_v, rank = split_radix_sort_with_rank(_m().vector(data))
+        assert np.array_equal(data[rank.data], sorted_v.data)
+
+
+class TestSignedAndFloatKeys:
+    """The paper: 'integers, characters, and floating-point numbers can
+    all be sorted with a radix sort'."""
+
+    @given(st.lists(st.integers(-10**9, 10**9), max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_signed(self, xs):
+        out = split_radix_sort_signed(_m().vector(xs))
+        assert out.to_list() == sorted(xs)
+
+    @given(st.lists(st.floats(allow_nan=False, width=32), max_size=150))
+    @settings(max_examples=40, deadline=None)
+    def test_floats(self, xs):
+        out = split_radix_sort_float(
+            _m().vector(np.array(xs, dtype=np.float64), dtype=np.float64))
+        assert out.to_list() == sorted(xs)
+
+    def test_negative_zero_and_infinities(self):
+        data = [np.inf, -0.0, 1.5, -np.inf, 0.0, -1.5]
+        out = split_radix_sort_float(_m().vector(data, dtype=np.float64))
+        assert out.to_list() == sorted(data)
+        # -0.0 lands before +0.0 in the bit order
+        signs = np.signbit(out.data)
+        zeros = np.flatnonzero(out.data == 0.0)
+        assert signs[zeros[0]] and not signs[zeros[1]]
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            split_radix_sort_float(_m().vector([1.0, np.nan], dtype=np.float64))
+
+    def test_float_sort_requires_floats(self):
+        with pytest.raises(TypeError):
+            split_radix_sort_float(_m().vector([1, 2]))
+
+    def test_signed_sort_requires_ints(self):
+        with pytest.raises(TypeError):
+            split_radix_sort_signed(_m().vector([1.0], dtype=float))
+
+    def test_float_sort_constant_steps_per_bit(self):
+        """64 O(1) passes, independent of n."""
+        def steps(n):
+            m = _m()
+            rng = np.random.default_rng(0)
+            split_radix_sort_float(
+                m.vector(rng.standard_normal(n), dtype=np.float64))
+            return m.steps
+
+        assert steps(64) == steps(1024)
+
+
+class TestValidation:
+    def test_negative_keys_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            split_radix_sort(_m().vector([1, -2]))
+
+    def test_float_keys_rejected(self):
+        with pytest.raises(TypeError):
+            split_radix_sort(_m().vector([1.5, 2.5], dtype=float))
+
+    def test_key_bits(self):
+        assert key_bits(_m().vector([0, 7])) == 3
+        assert key_bits(_m().vector([0])) == 1
+        assert key_bits(_m().vector([256])) == 9
+
+
+class TestStepComplexity:
+    def test_steps_linear_in_bits_not_in_n(self):
+        """O(1) steps per bit on the scan model: doubling n leaves the step
+        count unchanged for fixed-width keys."""
+        counts = []
+        for n in (64, 128, 256):
+            m = _m()
+            data = np.arange(n) % 16
+            split_radix_sort(m.vector(data), number_of_bits=4)
+            counts.append(m.steps)
+        assert counts[0] == counts[1] == counts[2]
+
+    def test_erew_pays_log_factor(self):
+        data = list(range(256))
+        ms = Machine("scan")
+        split_radix_sort(ms.vector(data), number_of_bits=8)
+        me = Machine("erew")
+        split_radix_sort(me.vector(data), number_of_bits=8)
+        assert me.steps > 3 * ms.steps

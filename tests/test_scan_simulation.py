@@ -1,0 +1,160 @@
+"""Section 3.4: every scan from the two primitives alone.
+
+These tests pin the *literal constructions* (bit appending, inversion,
+reversal, float flipping) against both the direct implementations and
+plain oracles — the paper's claim that a machine with only an integer
+``+-scan`` and ``max-scan`` loses nothing.
+"""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Machine
+from repro.core import scans, segmented, simulate
+
+
+def _m():
+    return Machine("scan")
+
+
+@st.composite
+def seg_case(draw, lo=0, hi=200):
+    n = draw(st.integers(1, 80))
+    values = draw(st.lists(st.integers(lo, hi), min_size=n, max_size=n))
+    flags = [True] + [draw(st.booleans()) for _ in range(n - 1)]
+    return values, flags
+
+
+class TestDerivedScans:
+    @given(st.lists(st.integers(-10**6, 10**6), max_size=150))
+    @settings(max_examples=50, deadline=None)
+    def test_min_scan_construction_matches_direct(self, xs):
+        a = simulate.sim_min_scan(_m().vector(xs)).to_list()
+        b = scans.min_scan(_m().vector(xs)).to_list()
+        assert a == b
+
+    @given(st.lists(st.booleans(), max_size=120))
+    @settings(max_examples=50, deadline=None)
+    def test_or_scan_construction(self, xs):
+        a = simulate.sim_or_scan(_m().flags(xs)).to_list()
+        b = scans.or_scan(_m().flags(xs)).to_list()
+        assert a == b
+
+    @given(st.lists(st.booleans(), max_size=120))
+    @settings(max_examples=50, deadline=None)
+    def test_and_scan_construction(self, xs):
+        a = simulate.sim_and_scan(_m().flags(xs)).to_list()
+        b = scans.and_scan(_m().flags(xs)).to_list()
+        assert a == b
+
+    @given(st.lists(st.integers(0, 10**6), max_size=120))
+    @settings(max_examples=50, deadline=None)
+    def test_backward_constructions(self, xs):
+        assert (simulate.sim_back_plus_scan(_m().vector(xs)).to_list()
+                == scans.back_plus_scan(_m().vector(xs)).to_list())
+        assert (simulate.sim_back_max_scan(_m().vector(xs), identity=0).to_list()
+                == scans.back_max_scan(_m().vector(xs), identity=0).to_list())
+
+
+class TestFigure16:
+    def test_paper_example(self):
+        m = _m()
+        a = m.vector([5, 1, 3, 4, 3, 9, 2, 6])
+        sflag = m.flags([1, 0, 1, 0, 0, 0, 1, 0])
+        out = simulate.sim_seg_max_scan(a, sflag, bits=4)
+        assert out.to_list() == [0, 5, 0, 3, 4, 4, 0, 2]
+
+    @given(seg_case())
+    @settings(max_examples=60, deadline=None)
+    def test_seg_max_scan_construction_matches_direct(self, case):
+        values, flags = case
+        m1, m2 = _m(), _m()
+        lit = simulate.sim_seg_max_scan(m1.vector(values), m1.flags(flags), bits=9)
+        direct = segmented.seg_max_scan(m2.vector(values), m2.flags(flags), identity=0)
+        assert lit.to_list() == direct.to_list()
+
+    @given(seg_case())
+    @settings(max_examples=60, deadline=None)
+    def test_seg_plus_scan_construction_matches_direct(self, case):
+        values, flags = case
+        m1, m2 = _m(), _m()
+        lit = simulate.sim_seg_plus_scan(m1.vector(values), m1.flags(flags))
+        direct = segmented.seg_plus_scan(m2.vector(values), m2.flags(flags))
+        assert lit.to_list() == direct.to_list()
+
+    @given(seg_case())
+    @settings(max_examples=40, deadline=None)
+    def test_seg_min_scan_construction_matches_direct(self, case):
+        values, flags = case
+        m1, m2 = _m(), _m()
+        lit = simulate.sim_seg_min_scan(m1.vector(values), m1.flags(flags), bits=9)
+        direct = segmented.seg_min_scan(m2.vector(values), m2.flags(flags),
+                                        identity=(1 << 9) - 1)
+        assert lit.to_list() == direct.to_list()
+
+    @given(seg_case(hi=100))
+    @settings(max_examples=40, deadline=None)
+    def test_seg_copy_construction(self, case):
+        values, flags = case
+        m1, m2 = _m(), _m()
+        lit = simulate.sim_seg_copy(m1.vector(values), m1.flags(flags), bits=8)
+        direct = segmented.seg_copy(m2.vector(values), m2.flags(flags))
+        assert lit.to_list() == direct.to_list()
+
+    def test_bit_bounds_enforced(self):
+        m = _m()
+        with pytest.raises(ValueError, match=r"2\^4"):
+            simulate.sim_seg_max_scan(m.vector([16]), m.flags([1]), bits=4)
+        with pytest.raises(ValueError):
+            simulate.sim_seg_max_scan(m.vector([1]), m.flags([1]), bits=0)
+
+    def test_negative_values_rejected(self):
+        m = _m()
+        with pytest.raises(ValueError):
+            simulate.sim_seg_plus_scan(m.vector([-1]), m.flags([1]))
+
+    def test_uses_only_primitive_scans(self):
+        """The construction must issue only the two primitives: its cost is
+        a handful of 'scan' charges and elementwise steps."""
+        m = _m()
+        n = 64
+        simulate.sim_seg_max_scan(m.vector(np.arange(n)),
+                                  m.flags([True] + [False] * (n - 1)), bits=8)
+        kinds = set(m.counter.by_kind)
+        assert kinds <= {"scan", "elementwise", "permute"}
+        assert m.counter.by_kind["scan"] == 2  # enumerate + max-scan
+
+
+class TestFloatScans:
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              width=32), max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_float_max_scan(self, xs):
+        out = simulate.sim_float_max_scan(
+            _m().vector(np.array(xs, dtype=np.float64), dtype=np.float64)).to_list()
+        run = -np.inf
+        for i, x in enumerate(xs):
+            assert out[i] == run
+            run = max(run, x)
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              width=32), max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_float_min_scan(self, xs):
+        out = simulate.sim_float_min_scan(
+            _m().vector(np.array(xs, dtype=np.float64), dtype=np.float64)).to_list()
+        run = np.inf
+        for i, x in enumerate(xs):
+            assert out[i] == run
+            run = min(run, x)
+
+    def test_float_scan_requires_floats(self):
+        with pytest.raises(TypeError):
+            simulate.sim_float_max_scan(_m().vector([1, 2]))
+
+    def test_negative_zero_handled(self):
+        out = simulate.sim_float_max_scan(
+            _m().vector([-0.0, 1.0, 0.0], dtype=np.float64)).to_list()
+        assert out[1] in (0.0, -0.0)
+        assert out[2] == 1.0

@@ -1,0 +1,177 @@
+"""The scan primitives and their derivatives, against NumPy oracles and the
+paper's worked examples."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Machine
+from repro.core import scans
+
+int_lists = st.lists(st.integers(-10**6, 10**6), max_size=200)
+nonneg_lists = st.lists(st.integers(0, 10**6), max_size=200)
+
+
+def _m():
+    return Machine("scan")
+
+
+class TestPaperExamples:
+    def test_plus_scan_figure(self):
+        v = _m().vector([2, 1, 2, 3, 5, 8, 13, 21])
+        assert scans.plus_scan(v).to_list() == [0, 2, 3, 5, 8, 13, 21, 34]
+
+    def test_plus_distribute_figure1(self):
+        v = _m().vector([1, 1, 2, 1, 1, 2, 1, 1])
+        assert scans.plus_distribute(v).to_list() == [10] * 8
+
+
+class TestPlusScan:
+    @given(int_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_prefix_sums(self, xs):
+        out = scans.plus_scan(_m().vector(xs)).to_list()
+        expect = list(np.concatenate(([0], np.cumsum(xs)[:-1]))) if xs else []
+        assert out == expect
+
+    def test_empty(self):
+        assert scans.plus_scan(_m().vector([])).to_list() == []
+
+    def test_bool_input_promoted(self):
+        out = scans.plus_scan(_m().flags([1, 0, 1, 1]))
+        assert out.to_list() == [0, 1, 1, 2]
+        assert out.dtype == np.int64
+
+
+class TestMaxMinScans:
+    @given(int_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_max_scan(self, xs):
+        out = scans.max_scan(_m().vector(xs)).to_list()
+        run = np.iinfo(np.int64).min
+        expect = []
+        for x in xs:
+            expect.append(run)
+            run = max(run, x)
+        assert out == expect
+
+    @given(int_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_min_scan(self, xs):
+        out = scans.min_scan(_m().vector(xs)).to_list()
+        run = np.iinfo(np.int64).max
+        expect = []
+        for x in xs:
+            expect.append(run)
+            run = min(run, x)
+        assert out == expect
+
+    def test_custom_identity(self):
+        v = _m().vector([5, 1, 3])
+        assert scans.max_scan(v, identity=0).to_list() == [0, 5, 5]
+
+    def test_float_max_scan(self):
+        v = _m().vector([1.5, -2.0, 3.0], dtype=float)
+        out = scans.max_scan(v).to_list()
+        assert out == [-np.inf, 1.5, 1.5]
+
+
+class TestBooleanScans:
+    @given(st.lists(st.booleans(), max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_or_scan(self, xs):
+        out = scans.or_scan(_m().flags(xs)).to_list()
+        run, expect = False, []
+        for x in xs:
+            expect.append(run)
+            run = run or x
+        assert out == expect
+
+    @given(st.lists(st.booleans(), max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_and_scan(self, xs):
+        out = scans.and_scan(_m().flags(xs)).to_list()
+        run, expect = True, []
+        for x in xs:
+            expect.append(run)
+            run = run and x
+        assert out == expect
+
+
+class TestBackwardScans:
+    @given(int_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_back_plus(self, xs):
+        out = scans.back_plus_scan(_m().vector(xs)).to_list()
+        expect = [sum(xs[i + 1:]) for i in range(len(xs))]
+        assert out == expect
+
+    def test_back_max(self):
+        v = _m().vector([1, 9, 2, 5])
+        out = scans.back_max_scan(v, identity=0).to_list()
+        assert out == [9, 5, 5, 0]
+
+    def test_back_min(self):
+        v = _m().vector([4, 1, 9])
+        assert scans.back_min_scan(v).to_list()[:2] == [1, 9]
+
+
+class TestReductionsAndDistributes:
+    @given(int_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_plus_reduce(self, xs):
+        assert scans.plus_reduce(_m().vector(xs)) == sum(xs)
+
+    def test_min_max_reduce(self):
+        v = _m().vector([3, 1, 4, 1, 5])
+        assert scans.max_reduce(v) == 5
+        assert scans.min_reduce(v) == 1
+
+    def test_or_and_reduce(self):
+        m = _m()
+        assert scans.or_reduce(m.flags([0, 0, 1])) is True
+        assert scans.or_reduce(m.flags([0, 0])) is False
+        assert scans.and_reduce(m.flags([1, 1])) is True
+        assert scans.and_reduce(m.flags([1, 0])) is False
+
+    def test_empty_reductions(self):
+        m = _m()
+        assert scans.plus_reduce(m.vector([])) == 0
+        assert scans.or_reduce(m.flags([])) is False
+        assert scans.and_reduce(m.flags([])) is True
+
+    def test_distributes(self):
+        v = _m().vector([3, 1, 4])
+        assert scans.plus_distribute(v).to_list() == [8, 8, 8]
+        assert scans.max_distribute(v).to_list() == [4, 4, 4]
+        assert scans.min_distribute(v).to_list() == [1, 1, 1]
+
+    def test_distribute_costs_constant_on_scan_model(self):
+        m = _m()
+        scans.plus_distribute(m.vector(range(4096)))
+        small = m.steps
+        m2 = _m()
+        scans.plus_distribute(m2.vector(range(8)))
+        assert small == m2.steps  # O(1) regardless of n
+
+
+class TestStepCounts:
+    def test_primitive_scans_cost_one(self):
+        m = _m()
+        scans.plus_scan(m.vector(range(64)))
+        assert m.counter.by_kind["scan"] == 1
+        scans.max_scan(m.vector(range(64)))
+        assert m.counter.by_kind["scan"] == 2
+
+    def test_derived_scans_cost_constant_scans(self):
+        for fn in (scans.min_scan, scans.or_scan, scans.and_scan):
+            m = _m()
+            fn(m.vector(np.arange(128)) > 3) if fn in (scans.or_scan, scans.and_scan) \
+                else fn(m.vector(np.arange(128)))
+            assert m.counter.by_kind["scan"] <= 2
+
+    def test_backward_scan_adds_two_permutes(self):
+        m = _m()
+        scans.back_plus_scan(m.vector(range(32)))
+        assert m.counter.by_kind["scan"] == 1
+        assert m.counter.by_kind["permute"] == 2

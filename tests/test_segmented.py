@@ -1,0 +1,300 @@
+"""Segmented scans and segmented operations (Section 2.3)."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Machine
+from repro.core import segmented
+from repro.core.segmented import (
+    flags_from_lengths,
+    seg_and_scan,
+    seg_back_copy,
+    seg_back_max_scan,
+    seg_back_min_scan,
+    seg_back_plus_scan,
+    seg_copy,
+    seg_enumerate,
+    seg_flag_from_neighbor_change,
+    seg_index,
+    seg_max_distribute,
+    seg_max_scan,
+    seg_min_distribute,
+    seg_min_scan,
+    seg_or_scan,
+    seg_plus_distribute,
+    seg_plus_scan,
+    seg_split,
+    seg_split3,
+    segment_ids,
+    segment_lengths,
+)
+
+
+def _m():
+    return Machine("scan")
+
+
+@st.composite
+def segmented_vector(draw, elements=st.integers(-10**6, 10**6)):
+    """(values, flags) with flags[0] True."""
+    n = draw(st.integers(1, 120))
+    values = draw(st.lists(elements, min_size=n, max_size=n))
+    flags = [True] + [draw(st.booleans()) for _ in range(n - 1)]
+    return values, flags
+
+
+def _segments(flags):
+    """Split indices into per-segment slices."""
+    heads = [i for i, f in enumerate(flags) if f]
+    return [slice(h, heads[i + 1] if i + 1 < len(heads) else len(flags))
+            for i, h in enumerate(heads)]
+
+
+class TestStructure:
+    def test_first_flag_must_be_true(self):
+        m = _m()
+        with pytest.raises(ValueError, match="first element"):
+            seg_plus_scan(m.vector([1, 2]), m.flags([0, 1]))
+
+    def test_flag_length_checked(self):
+        m = _m()
+        with pytest.raises(ValueError, match="length"):
+            seg_plus_scan(m.vector([1, 2]), m.flags([1]))
+
+    def test_flags_must_be_boolean(self):
+        m = _m()
+        with pytest.raises(TypeError, match="boolean"):
+            seg_plus_scan(m.vector([1, 2]), m.vector([1, 0]))
+
+    def test_segment_ids(self):
+        m = _m()
+        out = segment_ids(m.flags([1, 0, 1, 0, 0, 1]))
+        assert out.to_list() == [0, 0, 1, 1, 1, 2]
+
+    def test_segment_lengths(self):
+        m = _m()
+        assert segment_lengths(m.flags([1, 0, 1, 0, 0, 1])).tolist() == [2, 3, 1]
+
+    def test_flags_from_lengths(self):
+        m = _m()
+        f = flags_from_lengths(m, [2, 0, 3, 1])
+        assert f.to_list() == [True, False, True, False, False, True]
+
+    def test_flags_from_lengths_rejects_negative(self):
+        with pytest.raises(ValueError):
+            flags_from_lengths(_m(), [2, -1])
+
+
+class TestPaperFigure4:
+    def test_seg_plus_scan(self):
+        m = _m()
+        a = m.vector([5, 1, 3, 4, 3, 9, 2, 6])
+        sb = m.flags([1, 0, 1, 0, 0, 0, 1, 0])
+        assert seg_plus_scan(a, sb).to_list() == [0, 5, 0, 3, 7, 10, 0, 2]
+
+    def test_seg_max_scan(self):
+        m = _m()
+        a = m.vector([5, 1, 3, 4, 3, 9, 2, 6])
+        sb = m.flags([1, 0, 1, 0, 0, 0, 1, 0])
+        assert seg_max_scan(a, sb, identity=0).to_list() == [0, 5, 0, 3, 4, 4, 0, 2]
+
+
+class TestSegmentedScansProperty:
+    @given(segmented_vector())
+    @settings(max_examples=60, deadline=None)
+    def test_seg_plus_scan_matches_per_segment(self, case):
+        values, flags = case
+        m = _m()
+        out = seg_plus_scan(m.vector(values), m.flags(flags)).to_list()
+        for s in _segments(flags):
+            run = 0
+            for i in range(s.start, s.stop):
+                assert out[i] == run
+                run += values[i]
+
+    @given(segmented_vector())
+    @settings(max_examples=60, deadline=None)
+    def test_seg_max_scan_matches_per_segment(self, case):
+        values, flags = case
+        m = _m()
+        ident = np.iinfo(np.int64).min
+        out = seg_max_scan(m.vector(values), m.flags(flags)).to_list()
+        for s in _segments(flags):
+            run = ident
+            for i in range(s.start, s.stop):
+                assert out[i] == run
+                run = max(run, values[i])
+
+    @given(segmented_vector())
+    @settings(max_examples=60, deadline=None)
+    def test_seg_min_scan_matches_per_segment(self, case):
+        values, flags = case
+        m = _m()
+        ident = np.iinfo(np.int64).max
+        out = seg_min_scan(m.vector(values), m.flags(flags)).to_list()
+        for s in _segments(flags):
+            run = ident
+            for i in range(s.start, s.stop):
+                assert out[i] == run
+                run = min(run, values[i])
+
+    @given(segmented_vector(elements=st.integers(0, 1)))
+    @settings(max_examples=40, deadline=None)
+    def test_seg_or_and_scans(self, case):
+        values, flags = case
+        m = _m()
+        bools = [bool(v) for v in values]
+        out_or = seg_or_scan(m.flags(bools), m.flags(flags)).to_list()
+        out_and = seg_and_scan(m.flags(bools), m.flags(flags)).to_list()
+        for s in _segments(flags):
+            run_or, run_and = False, True
+            for i in range(s.start, s.stop):
+                assert out_or[i] == run_or
+                assert out_and[i] == run_and
+                run_or = run_or or bools[i]
+                run_and = run_and and bools[i]
+
+    @given(segmented_vector())
+    @settings(max_examples=40, deadline=None)
+    def test_no_leakage_across_segments(self, case):
+        """Changing values in one segment never changes another segment's
+        scan output."""
+        values, flags = case
+        m = _m()
+        base = seg_plus_scan(m.vector(values), m.flags(flags)).to_list()
+        segs = _segments(flags)
+        if len(segs) < 2:
+            return
+        tweaked = list(values)
+        for i in range(segs[0].start, segs[0].stop):
+            tweaked[i] += 1000
+        m2 = _m()
+        out = seg_plus_scan(m2.vector(tweaked), m2.flags(flags)).to_list()
+        assert out[segs[1].start:] == base[segs[1].start:]
+
+
+class TestBackwardSegmented:
+    @given(segmented_vector())
+    @settings(max_examples=40, deadline=None)
+    def test_seg_back_plus(self, case):
+        values, flags = case
+        m = _m()
+        out = seg_back_plus_scan(m.vector(values), m.flags(flags)).to_list()
+        for s in _segments(flags):
+            for i in range(s.start, s.stop):
+                assert out[i] == sum(values[i + 1:s.stop])
+
+    def test_seg_back_max(self):
+        m = _m()
+        v = m.vector([1, 9, 2, 7, 3])
+        f = m.flags([1, 0, 0, 1, 0])
+        out = seg_back_max_scan(v, f, identity=0).to_list()
+        assert out == [9, 2, 0, 3, 0]
+
+    def test_seg_back_min(self):
+        m = _m()
+        v = m.vector([1, 9, 2, 7, 3])
+        f = m.flags([1, 0, 0, 1, 0])
+        out = seg_back_min_scan(v, f, identity=100).to_list()
+        assert out == [2, 2, 100, 3, 100]
+
+
+class TestCopyEnumerateDistribute:
+    def test_seg_copy(self):
+        m = _m()
+        v = m.vector([7, 1, 2, 9, 3])
+        f = m.flags([1, 0, 0, 1, 0])
+        assert seg_copy(v, f).to_list() == [7, 7, 7, 9, 9]
+
+    def test_seg_back_copy(self):
+        m = _m()
+        v = m.vector([7, 1, 2, 9, 3])
+        f = m.flags([1, 0, 0, 1, 0])
+        assert seg_back_copy(v, f).to_list() == [2, 2, 2, 3, 3]
+
+    def test_seg_enumerate(self):
+        m = _m()
+        flags = m.flags([1, 0, 1, 1, 0, 1])
+        sf = m.flags([1, 0, 0, 1, 0, 0])
+        assert seg_enumerate(flags, sf).to_list() == [0, 1, 1, 0, 1, 1]
+
+    def test_seg_index(self):
+        m = _m()
+        sf = m.flags([1, 0, 0, 1, 0])
+        assert seg_index(sf).to_list() == [0, 1, 2, 0, 1]
+
+    @given(segmented_vector(elements=st.integers(-1000, 1000)))
+    @settings(max_examples=40, deadline=None)
+    def test_distributes(self, case):
+        values, flags = case
+        m = _m()
+        v, f = m.vector(values), m.flags(flags)
+        out_sum = seg_plus_distribute(v, f).to_list()
+        out_max = seg_max_distribute(v, f).to_list()
+        out_min = seg_min_distribute(v, f).to_list()
+        for s in _segments(flags):
+            seg_vals = values[s.start:s.stop]
+            for i in range(s.start, s.stop):
+                assert out_sum[i] == sum(seg_vals)
+                assert out_max[i] == max(seg_vals)
+                assert out_min[i] == min(seg_vals)
+
+
+class TestSegmentedSplit:
+    def test_seg_split_packs_within_segments(self):
+        m = _m()
+        v = m.vector([1, 2, 3, 4, 5, 6])
+        f = m.flags([1, 0, 1, 1, 0, 0])
+        flags = m.flags([1, 0, 0, 1, 0, 1])
+        out = seg_split(v, flags, f)
+        assert out.to_list() == [2, 1, 3, 5, 4, 6]
+
+    @given(segmented_vector(elements=st.integers(0, 50)))
+    @settings(max_examples=40, deadline=None)
+    def test_seg_split_is_stable_permutation(self, case):
+        values, flags = case
+        m = _m()
+        v = m.vector(values)
+        sf = m.flags(flags)
+        pick = (v % 2) == 1
+        out = seg_split(v, pick, sf).to_list()
+        for s in _segments(flags):
+            seg_in = values[s.start:s.stop]
+            expect = [x for x in seg_in if x % 2 == 0] + [x for x in seg_in if x % 2 == 1]
+            assert out[s.start:s.stop] == expect
+
+    @given(segmented_vector(elements=st.integers(0, 20)))
+    @settings(max_examples=40, deadline=None)
+    def test_seg_split3(self, case):
+        values, flags = case
+        m = _m()
+        v = m.vector(values)
+        sf = m.flags(flags)
+        lesser = v < 7
+        equal = (v >= 7) & (v < 14)
+        out = seg_split3(v, lesser, equal, sf).to_list()
+        for s in _segments(flags):
+            seg_in = values[s.start:s.stop]
+            expect = ([x for x in seg_in if x < 7]
+                      + [x for x in seg_in if 7 <= x < 14]
+                      + [x for x in seg_in if x >= 14])
+            assert out[s.start:s.stop] == expect
+
+    def test_flag_from_neighbor_change(self):
+        m = _m()
+        v = m.vector([1, 1, 2, 2, 2, 3])
+        sf = m.flags([1, 0, 0, 0, 1, 0])
+        out = seg_flag_from_neighbor_change(v, sf)
+        assert out.to_list() == [True, False, True, False, True, True]
+
+
+class TestCosts:
+    def test_segmented_ops_cost_constant_scans(self):
+        """Every segmented operation uses a bounded number of primitive
+        scans regardless of n (Section 3.4: at most two per scan op)."""
+        for fn in (seg_plus_scan, seg_max_scan, seg_min_scan):
+            m = _m()
+            n = 2048
+            fn(m.vector(np.arange(n)), m.flags([True] + [False] * (n - 1)))
+            assert m.counter.by_kind["scan"] <= 3, fn.__name__

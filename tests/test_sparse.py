@@ -1,0 +1,122 @@
+"""Sparse matrix-vector multiply by segmented sums."""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms.sparse import SparseMatrix
+
+
+def _m():
+    return Machine("scan")
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self, rng):
+        d = rng.standard_normal((6, 8))
+        d[rng.random((6, 8)) < 0.6] = 0.0
+        sp = SparseMatrix(_m(), d)
+        assert np.allclose(sp.to_dense(), d)
+        assert sp.nnz == np.count_nonzero(d)
+
+    def test_from_coo(self):
+        sp = SparseMatrix(_m(), shape=(3, 4), rows=[0, 2, 2],
+                          cols=[1, 0, 3], vals=[5.0, 2.0, 7.0])
+        expect = np.zeros((3, 4))
+        expect[0, 1], expect[2, 0], expect[2, 3] = 5, 2, 7
+        assert np.allclose(sp.to_dense(), expect)
+
+    def test_coo_requires_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            SparseMatrix(_m(), rows=[0], cols=[0], vals=[1.0])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="range"):
+            SparseMatrix(_m(), shape=(2, 2), rows=[5], cols=[0], vals=[1.0])
+
+    def test_empty_matrix(self):
+        sp = SparseMatrix(_m(), np.zeros((3, 3)))
+        assert sp.nnz == 0
+        assert sp.matvec([1.0, 2.0, 3.0]).to_list() == [0.0, 0.0, 0.0]
+
+
+class TestMatvec:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_dense(self, seed):
+        rng = np.random.default_rng(seed)
+        r, c = rng.integers(1, 30, 2)
+        d = rng.standard_normal((r, c))
+        d[rng.random((r, c)) < 0.7] = 0.0
+        x = rng.standard_normal(c)
+        sp = SparseMatrix(_m(), d)
+        assert np.allclose(sp.matvec(x).data, d @ x)
+
+    def test_rows_without_nonzeros(self):
+        d = np.zeros((4, 3))
+        d[1, 2] = 5.0
+        sp = SparseMatrix(_m(), d)
+        assert np.allclose(sp.matvec([1, 1, 1.0]).data, [0, 5, 0, 0])
+
+    def test_length_mismatch(self):
+        sp = SparseMatrix(_m(), np.eye(3))
+        with pytest.raises(ValueError, match="mismatch"):
+            sp.matvec([1.0, 2.0])
+
+    def test_constant_steps_on_scan_model(self, rng):
+        """O(1) steps per multiply regardless of nnz or shape."""
+        def steps(n):
+            d = (rng.random((n, n)) < 4.0 / n).astype(float)
+            sp_m = _m()
+            sp = SparseMatrix(sp_m, d * rng.standard_normal((n, n)))
+            x = rng.standard_normal(n)
+            with sp_m.measure() as r:
+                sp.matvec(x)
+            return r.delta.steps
+
+        a, b = steps(32), steps(256)
+        assert abs(a - b) <= 12  # the duplicate-gather lg term only
+
+    def test_erew_pays_more(self, rng):
+        n = 64
+        d = (rng.random((n, n)) < 0.1) * rng.standard_normal((n, n))
+        x = rng.standard_normal(n)
+        ms = Machine("scan")
+        SparseMatrix(ms, d).matvec(x)
+        me = Machine("erew")
+        SparseMatrix(me, d).matvec(x)
+        assert me.steps > 1.5 * ms.steps
+
+
+class TestRowOperations:
+    def test_row_sums(self, rng):
+        d = rng.standard_normal((5, 7))
+        d[rng.random((5, 7)) < 0.5] = 0.0
+        sp = SparseMatrix(_m(), d)
+        assert np.allclose(sp.row_sums().data, d.sum(axis=1))
+
+    def test_scale_rows(self, rng):
+        d = rng.standard_normal((5, 5))
+        d[rng.random((5, 5)) < 0.5] = 0.0
+        f = rng.standard_normal(5)
+        sp = SparseMatrix(_m(), d).scale_rows(f)
+        assert np.allclose(sp.to_dense(), d * f[:, None])
+
+    def test_scale_rows_length_checked(self):
+        sp = SparseMatrix(_m(), np.eye(3))
+        with pytest.raises(ValueError):
+            sp.scale_rows([1.0, 2.0])
+
+
+class TestIterativeSolver:
+    def test_jacobi_iteration_converges(self, rng):
+        """A realistic consumer: Jacobi iterations built from matvec."""
+        n = 40
+        off = (rng.random((n, n)) < 0.1) * rng.standard_normal((n, n)) * 0.05
+        np.fill_diagonal(off, 0.0)
+        a = off + np.eye(n)
+        b = rng.standard_normal(n)
+        m = _m()
+        sp_off = SparseMatrix(m, off)
+        x = np.zeros(n)
+        for _ in range(60):
+            x = b - sp_off.matvec(x).data  # D = I
+        assert np.allclose(a @ x, b, atol=1e-8)

@@ -1,0 +1,166 @@
+"""Star merging (Section 2.3.3, Figure 7)."""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.graph import from_edges, random_connected_graph, star_merge
+
+
+def _m():
+    return Machine("scan", seed=0)
+
+
+def _star_flags(machine, g, edge_ids):
+    """Flag both ends of the edges with the given original ids."""
+    eid = g.slot_data["edge_id"].data
+    return machine.flags(np.isin(eid, edge_ids))
+
+
+class TestBasicMerge:
+    def test_two_children_one_parent(self):
+        """Figure 7's shape: a parent absorbs two children; the star edges
+        and any other now-internal edges disappear."""
+        m = _m()
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)]
+        g = from_edges(m, 4, edges, weights=[5, 1, 7, 3, 2])
+        parent = m.flags([0, 1, 0, 1])
+        star = _star_flags(m, g, [0, 1])  # 0-1 and 1-2 merge into vertex 1
+        res = star_merge(g, star, parent)
+        res.graph.validate()
+        assert res.graph.num_vertices == 2
+        assert sorted(res.graph.vertex_reps.tolist()) == [1, 3]
+        assert sorted(res.merged_pairs.tolist()) == [[0, 1], [2, 1]]
+        # remaining edges: the three 'parallel' edges (2,3), (3,0), (1,3)
+        w = sorted(res.graph.slot_data["weight"].data.tolist())
+        assert w == [2, 2, 3, 3, 7, 7]
+
+    def test_weights_and_ids_preserved(self):
+        m = _m()
+        edges = [(0, 1), (1, 2), (0, 2), (2, 3)]
+        g = from_edges(m, 4, edges, weights=[10, 20, 30, 40])
+        parent = m.flags([0, 1, 1, 1])
+        star = _star_flags(m, g, [0])  # 0 merges into 1
+        res = star_merge(g, star, parent)
+        res.graph.validate()
+        # edge (0,2) becomes (1',2); edges (1,2) and (2,3) survive
+        eids = sorted(set(res.graph.slot_data["edge_id"].data.tolist()))
+        assert eids == [1, 2, 3]
+
+    def test_full_contraction_retires_parent(self):
+        m = _m()
+        g = from_edges(m, 2, [(0, 1)])
+        parent = m.flags([0, 1])
+        star = _star_flags(m, g, [0])
+        res = star_merge(g, star, parent)
+        assert res.graph.num_slots == 0
+        assert res.retired_reps.tolist() == [1]
+        assert res.merged_pairs.tolist() == [[0, 1]]
+
+    def test_multiple_independent_stars(self):
+        m = _m()
+        edges = [(0, 1), (2, 3), (1, 2)]
+        g = from_edges(m, 4, edges)
+        parent = m.flags([0, 1, 1, 0])
+        star = _star_flags(m, g, [0, 1])  # 0->1 and 3->2
+        res = star_merge(g, star, parent)
+        res.graph.validate()
+        assert res.graph.num_vertices == 2
+        assert len(res.graph.to_edge_set()) == 1  # the surviving (1,2) edge
+
+    def test_no_stars_needs_no_children(self):
+        m = _m()
+        g = from_edges(m, 3, [(0, 1), (1, 2)])
+        parent = m.flags([1, 1, 1])
+        star = m.flags([0, 0, 0, 0])
+        res = star_merge(g, star, parent)
+        res.graph.validate()
+        assert res.graph.num_vertices == 3
+        assert res.merged_pairs.shape == (0, 2)
+
+
+class TestValidation:
+    def test_child_without_star_rejected(self):
+        m = _m()
+        g = from_edges(m, 3, [(0, 1), (1, 2)])
+        with pytest.raises(ValueError, match="exactly one star edge"):
+            star_merge(g, m.flags([0, 0, 0, 0]), m.flags([0, 1, 1]))
+
+    def test_star_between_two_parents_rejected(self):
+        m = _m()
+        g = from_edges(m, 2, [(0, 1)])
+        with pytest.raises(ValueError, match="two parents or two children"):
+            star_merge(g, m.flags([1, 1]), m.flags([1, 1]))
+
+    def test_one_sided_star_flag_rejected(self):
+        m = _m()
+        g = from_edges(m, 2, [(0, 1)])
+        star = np.zeros(2, dtype=bool)
+        star[0] = True
+        with pytest.raises(ValueError, match="both ends"):
+            star_merge(g, m.flags(star), m.flags([0, 1]))
+
+
+class TestInvariants:
+    def test_randomized_merges_keep_invariants(self):
+        """Random graphs, random stars: the result is always a valid
+        segmented graph and the inter-tree edge multiset is preserved."""
+        for seed in range(12):
+            rng = np.random.default_rng(seed)
+            n = int(rng.integers(4, 30))
+            edges, weights = random_connected_graph(rng, n, int(rng.integers(0, 20)))
+            m = Machine("scan", seed=seed)
+            g = from_edges(m, n, edges, weights=weights)
+
+            parent = rng.integers(0, 2, n).astype(bool)
+            # each child picks its minimum edge if the other end is a parent
+            adj = {v: [] for v in range(n)}
+            for ei, (u, v) in enumerate(edges):
+                adj[int(u)].append((int(weights[ei]), ei, int(v)))
+                adj[int(v)].append((int(weights[ei]), ei, int(u)))
+            star_ids = []
+            child_of = {}
+            for v in range(n):
+                if parent[v]:
+                    continue
+                w, ei, other = min(adj[v])
+                if parent[other]:
+                    star_ids.append(ei)
+                    child_of[v] = other
+            effective_parent = parent.copy()
+            for v in range(n):
+                if not parent[v] and v not in child_of:
+                    effective_parent[v] = True
+
+            res = star_merge(g, _star_flags(m, g, star_ids),
+                             m.flags(effective_parent))
+            res.graph.validate()
+            # vertices: parents that kept at least one edge
+            assert res.graph.num_vertices <= int(effective_parent.sum())
+            # surviving edges are exactly those whose endpoints landed in
+            # different merged vertices
+            rep = {v: child_of.get(v, v) for v in range(n)}
+            expect = sorted(
+                ei for ei, (u, v) in enumerate(edges)
+                if rep[int(u)] != rep[int(v)]
+            )
+            got = sorted(set(res.graph.slot_data["edge_id"].data.tolist()))
+            assert got == expect, seed
+
+    def test_merge_is_constant_steps(self):
+        """Star merge costs O(1) program steps regardless of graph size."""
+        step_counts = []
+        for n in (16, 128):
+            rng = np.random.default_rng(3)
+            edges, weights = random_connected_graph(rng, n, n)
+            m = Machine("scan", seed=3)
+            g = from_edges(m, n, edges, weights=weights)
+            parent = np.ones(n, dtype=bool)
+            parent[0] = False
+            adj_min = min(
+                (int(weights[ei]), ei) for ei, (u, v) in enumerate(edges)
+                if 0 in (int(u), int(v))
+            )
+            with m.measure() as r:
+                star_merge(g, _star_flags(m, g, [adj_min[1]]), m.flags(parent))
+            step_counts.append(r.delta.steps)
+        assert step_counts[0] == step_counts[1]

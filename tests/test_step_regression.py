@@ -1,0 +1,123 @@
+"""Golden step counts: exact charges for fixed inputs.
+
+The cost model is the instrument every benchmark reads; these pins make
+any accidental change to a charge formula fail loudly and reviewably
+(update the constant *with* the cost-model document, or not at all).
+"""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.core import ops, scans, segmented
+
+
+def _v(model="scan", n=64):
+    m = Machine(model)
+    return m, m.vector(np.arange(n))
+
+
+class TestPrimitivePins:
+    def test_scan_charges(self):
+        for model, expected in (("scan", 1), ("erew", 12), ("crcw", 12)):
+            m, v = _v(model)
+            scans.plus_scan(v)
+            assert m.steps == expected, model
+
+    def test_elementwise_and_permute(self):
+        m, v = _v()
+        _ = v + 1
+        v.reverse()
+        assert m.counter.by_kind == {"elementwise": 1, "permute": 1}
+
+    def test_backward_scan(self):
+        m, v = _v()
+        scans.back_plus_scan(v)
+        assert dict(m.counter.by_kind) == {"scan": 1, "permute": 2}
+
+    def test_distribute(self):
+        m, v = _v()
+        scans.plus_distribute(v)
+        assert dict(m.counter.by_kind) == {"reduce": 1, "broadcast": 1}
+
+    def test_long_vector_scan(self):
+        m = Machine("scan", num_processors=8)
+        scans.plus_scan(m.vector(np.arange(64)))
+        assert m.steps == 2 * 8 + 1
+
+
+class TestCompositePins:
+    def test_split(self):
+        m, v = _v()
+        ops.split(v, v.bit(0))
+        assert m.steps == 11
+        assert dict(m.counter.by_kind) == {
+            "elementwise": 6, "scan": 2, "permute": 3}
+
+    def test_pack(self):
+        m, v = _v()
+        ops.pack(v, v.bit(0))
+        assert m.steps == 6  # bit + enumerate + count + permute glue
+
+    def test_seg_plus_scan(self):
+        m, v = _v()
+        sf_arr = np.zeros(64, dtype=bool)
+        sf_arr[::8] = True
+        segmented.seg_plus_scan(v, m.flags(sf_arr))
+        assert m.steps == 7  # 3 scans + 4 elementwise
+
+    def test_seg_distribute_scan_vs_crcw(self):
+        for model, expected in (("scan", 9), ("crcw", 3)):
+            m = Machine(model)
+            v = m.vector(np.arange(64))
+            sf_arr = np.zeros(64, dtype=bool)
+            sf_arr[::8] = True
+            segmented.seg_plus_distribute(v, m.flags(sf_arr))
+            assert m.steps == expected, model
+
+    def test_allocate(self):
+        m = Machine("scan")
+        ops.allocate(m, m.vector([3, 0, 2, 5]))
+        assert dict(m.counter.by_kind) == {"scan": 1, "reduce": 1, "permute": 1}
+
+
+class TestAlgorithmPins:
+    """End-to-end step totals for deterministic algorithms at fixed inputs
+    (seeded where probabilistic)."""
+
+    def test_radix_sort_8bit_64keys(self):
+        m = Machine("scan")
+        from repro.algorithms import split_radix_sort
+        split_radix_sort(m.vector(np.arange(64)[::-1] % 256),
+                         number_of_bits=8)
+        assert m.steps == 88  # 8 bits x 11 steps per split
+
+    def test_halving_merge_64_64(self):
+        from repro.algorithms import halving_merge
+        m = Machine("scan")
+        a = m.vector(np.arange(0, 128, 2))
+        b = m.vector(np.arange(1, 128, 2))
+        halving_merge(a, b)
+        assert m.steps == 416
+
+    def test_line_drawing_figure9(self):
+        from repro.algorithms import draw_lines
+        m = Machine("scan")
+        draw_lines(m, [[11, 2, 23, 14], [2, 13, 13, 8], [16, 4, 31, 4]])
+        assert m.steps == 104
+
+    def test_visibility_is_nine_steps(self):
+        from repro.algorithms import visibility
+        m = Machine("scan")
+        alt = m.vector(np.arange(64, dtype=float), dtype=float)
+        sf_arr = np.zeros(64, dtype=bool)
+        sf_arr[::16] = True
+        dist = m.vector(np.arange(1.0, 65.0), dtype=float)
+        with m.measure() as r:
+            visibility(alt, m.flags(sf_arr), dist, 0.0)
+        assert r.delta.steps == 7
+
+    def test_big_add_is_fourteen_steps(self):
+        from repro.algorithms import big_add
+        m = Machine("scan")
+        big_add(m, (1 << 100) - 1, 12345)
+        assert m.steps == 14

@@ -1,0 +1,85 @@
+"""The step tracer / profiler."""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms import split_radix_sort
+from repro.core import scans
+from repro.machine import trace
+
+
+class TestTrace:
+    def test_totals_match_machine(self, rng):
+        m = Machine("scan")
+        data = rng.integers(0, 1000, 100)
+        with trace(m) as t:
+            split_radix_sort(m.vector(data))
+        assert t.total_steps == m.steps
+
+    def test_phases(self):
+        m = Machine("scan")
+        with trace(m) as t:
+            with t.phase("one"):
+                scans.plus_scan(m.vector(range(8)))
+            with t.phase("two"):
+                scans.plus_scan(m.vector(range(8)))
+                scans.plus_scan(m.vector(range(8)))
+        assert t.by_phase() == {"one": 1, "two": 2}
+
+    def test_nested_phases_innermost_wins(self):
+        m = Machine("scan")
+        with trace(m) as t:
+            with t.phase("outer"):
+                scans.plus_scan(m.vector(range(4)))
+                with t.phase("inner"):
+                    scans.plus_scan(m.vector(range(4)))
+        assert t.by_phase() == {"outer": 1, "inner": 1}
+
+    def test_untagged_charges(self):
+        m = Machine("scan")
+        with trace(m) as t:
+            scans.plus_scan(m.vector(range(4)))
+        assert t.by_phase() == {"(untagged)": 1}
+
+    def test_by_kind(self):
+        m = Machine("scan")
+        with trace(m) as t:
+            v = m.vector(range(8))
+            _ = v + 1
+            scans.plus_scan(v)
+        assert t.by_kind() == {"elementwise": 1, "scan": 1}
+
+    def test_detaches_after_block(self):
+        m = Machine("scan")
+        with trace(m) as t:
+            scans.plus_scan(m.vector(range(4)))
+        scans.plus_scan(m.vector(range(4)))  # after the trace
+        assert t.total_steps == 1
+        assert m.steps == 2
+        assert not m.counter.listeners
+
+    def test_report_mentions_phases_and_percentages(self):
+        m = Machine("scan")
+        with trace(m) as t:
+            with t.phase("alpha"):
+                scans.plus_scan(m.vector(range(16)))
+        rep = t.report()
+        assert "alpha" in rep
+        assert "100.0%" in rep
+        assert "scan=1" in rep
+
+    def test_two_traces_stack(self):
+        m = Machine("scan")
+        with trace(m) as outer:
+            scans.plus_scan(m.vector(range(4)))
+            with trace(m) as inner:
+                scans.plus_scan(m.vector(range(4)))
+            assert inner.total_steps == 1
+        assert outer.total_steps == 2
+
+    def test_events_record_costs_on_erew(self):
+        m = Machine("erew")
+        with trace(m) as t:
+            scans.plus_scan(m.vector(range(256)))
+        assert t.events[0].cost == 16  # 2 lg 256
+        assert t.events[0].kind == "scan"

@@ -1,0 +1,106 @@
+"""Tree contraction (rake & compress; Table 5)."""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms.tree_contraction import (
+    DEFAULT_MODULUS,
+    ExpressionTree,
+    tree_contract,
+)
+
+
+def _leaf_tree(values, ops_):
+    """Balanced-ish tree built from explicit arrays for tiny fixtures."""
+    return ExpressionTree(
+        left=np.asarray([1, -1, -1], dtype=np.int64),
+        right=np.asarray([2, -1, -1], dtype=np.int64),
+        op=np.asarray(ops_, dtype=np.int64),
+        value=np.asarray(values, dtype=np.int64),
+        root=0,
+    )
+
+
+class TestBasics:
+    def test_single_add(self):
+        t = _leaf_tree([0, 3, 4], [0, 0, 0])
+        val, rounds = tree_contract(Machine("scan"), t)
+        assert val == 7
+
+    def test_single_mul(self):
+        t = _leaf_tree([0, 3, 4], [1, 0, 0])
+        val, _ = tree_contract(Machine("scan"), t)
+        assert val == 12
+
+    def test_serial_oracle_agrees(self):
+        t = _leaf_tree([0, 3, 4], [1, 0, 0])
+        assert t.eval_serial() == 12
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("skew", [0.05, 0.5, 0.95])
+    def test_random_trees(self, seed, skew):
+        rng = np.random.default_rng(seed)
+        t = ExpressionTree.random(rng, int(rng.integers(2, 200)), skew=skew)
+        m = Machine("scan", seed=seed)
+        val, rounds = tree_contract(m, t)
+        assert val == t.eval_serial()
+
+    def test_exact_small_tree_without_modulus(self):
+        rng = np.random.default_rng(1)
+        t = ExpressionTree.random(rng, 8, max_value=5)
+        val, _ = tree_contract(Machine("scan"), t, modulus=None)
+        assert val == t.eval_serial(modulus=None)
+
+    def test_round_cap_raises(self):
+        rng = np.random.default_rng(2)
+        t = ExpressionTree.random(rng, 64)
+        with pytest.raises(RuntimeError, match="rounds"):
+            tree_contract(Machine("scan"), t, max_rounds=1)
+
+
+class TestComplexity:
+    def test_vine_contracts_in_log_rounds(self):
+        """A fully skewed (vine) tree exercises compress: rounds stay
+        logarithmic, not linear."""
+        rng = np.random.default_rng(3)
+        t = ExpressionTree.random(rng, 512, skew=1.0)
+        m = Machine("scan", seed=3)
+        val, rounds = tree_contract(m, t)
+        assert val == t.eval_serial()
+        assert rounds <= 40
+
+    def test_balanced_contracts_in_log_rounds(self):
+        rng = np.random.default_rng(4)
+        t = ExpressionTree.random(rng, 512, skew=0.0)
+        m = Machine("scan", seed=4)
+        _, rounds = tree_contract(m, t)
+        assert rounds <= 30
+
+    def test_work_reduction_with_fewer_processors(self):
+        """Table 5: p = n / lg n does less total work than p = n because
+        each round shrinks the live set geometrically."""
+        rng = np.random.default_rng(5)
+        t = ExpressionTree.random(rng, 2048, skew=0.5)
+        n = t.n
+        m_full = Machine("scan", seed=5)
+        tree_contract(m_full, t)
+        work_full = n * m_full.steps
+
+        p = n // 12
+        m_few = Machine("scan", num_processors=p, seed=5)
+        tree_contract(m_few, t)
+        work_few = p * m_few.steps
+        assert work_few < work_full / 2
+
+
+class TestRandomTreeGenerator:
+    def test_structure_is_a_binary_tree(self):
+        rng = np.random.default_rng(6)
+        t = ExpressionTree.random(rng, 50)
+        internal = t.left >= 0
+        assert internal.sum() == 49  # n_leaves - 1 internal nodes
+        assert ((t.left >= 0) == (t.right >= 0)).all()
+        # every non-root node has exactly one parent
+        children = np.concatenate((t.left[internal], t.right[internal]))
+        assert len(children) == len(set(children.tolist()))
+        assert t.root not in children

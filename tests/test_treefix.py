@@ -1,0 +1,152 @@
+"""Treefix operations: Euler-tour tree quantities in O(lg n) steps."""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms.treefix import build_rooted_tree, root_tree_edges
+
+
+def _random_parent(rng, n):
+    parent = np.arange(n)
+    for v in range(1, n):
+        parent[v] = rng.integers(0, v)
+    return parent
+
+
+def _oracles(parent, values):
+    n = len(parent)
+    depth = np.zeros(n, dtype=np.int64)
+    for v in range(1, n):
+        depth[v] = depth[parent[v]] + 1
+    sizes = np.ones(n, dtype=np.int64)
+    ssum = values.copy()
+    smin = values.copy()
+    smax = values.copy()
+    for v in range(n - 1, 0, -1):
+        p = parent[v]
+        sizes[p] += sizes[v]
+        ssum[p] += ssum[v]
+        smin[p] = min(smin[p], smin[v])
+        smax[p] = max(smax[p], smax[v])
+    psum = values.copy()
+    for v in range(1, n):
+        psum[v] = psum[parent[v]] + values[v]
+    return depth, sizes, ssum, smin, smax, psum
+
+
+class TestTreefixOperations:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_all_quantities_match_oracles(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 250))
+        parent = _random_parent(rng, n)
+        values = rng.integers(-100, 100, n)
+        depth, sizes, ssum, smin, smax, psum = _oracles(parent, values)
+
+        m = Machine("scan")
+        t = build_rooted_tree(m, parent)
+        assert np.array_equal(t.depths(), depth)
+        assert np.array_equal(t.subtree_sizes(), sizes)
+        assert np.array_equal(t.subtree_sums(values), ssum)
+        assert np.array_equal(t.subtree_min(values), smin)
+        assert np.array_equal(t.subtree_max(values), smax)
+        assert np.array_equal(t.path_sums(values), psum)
+
+    def test_pre_and_postorder_are_permutations(self):
+        rng = np.random.default_rng(1)
+        parent = _random_parent(rng, 100)
+        t = build_rooted_tree(Machine("scan"), parent)
+        pre, post = t.preorder(), t.postorder()
+        assert sorted(pre.tolist()) == list(range(100))
+        assert sorted(post.tolist()) == list(range(100))
+        for v in range(1, 100):
+            u = parent[v]
+            assert pre[u] < pre[v]
+            assert post[u] > post[v]
+
+    def test_preorder_subtree_interval(self):
+        """pre(v) .. pre(v)+size(v) is exactly v's subtree — the property
+        Tarjan-Vishkin leans on."""
+        rng = np.random.default_rng(2)
+        parent = _random_parent(rng, 80)
+        t = build_rooted_tree(Machine("scan"), parent)
+        pre, size = t.preorder(), t.subtree_sizes()
+        anc = np.zeros((80, 80), dtype=bool)
+        for v in range(80):
+            u = v
+            while True:
+                anc[u, v] = True
+                if parent[u] == u:
+                    break
+                u = parent[u]
+        for u in range(80):
+            for v in range(80):
+                interval = pre[u] <= pre[v] < pre[u] + size[u]
+                assert interval == anc[u, v]
+
+    def test_single_vertex(self):
+        t = build_rooted_tree(Machine("scan"), [0])
+        assert t.depths().tolist() == [0]
+        assert t.subtree_sizes().tolist() == [1]
+        assert t.subtree_min([7]).tolist() == [7]
+
+    def test_vine(self):
+        n = 200
+        parent = np.maximum(np.arange(n) - 1, 0)
+        t = build_rooted_tree(Machine("scan"), parent)
+        assert np.array_equal(t.depths(), np.arange(n))
+        assert np.array_equal(t.subtree_sizes(), n - np.arange(n))
+
+    def test_multiple_roots_rejected(self):
+        with pytest.raises(ValueError, match="exactly one root"):
+            build_rooted_tree(Machine("scan"), [0, 1, 0])
+
+    def test_value_length_checked(self):
+        t = build_rooted_tree(Machine("scan"), [0, 0, 1])
+        with pytest.raises(ValueError):
+            t.subtree_sums([1, 2])
+
+
+class TestRootTreeEdges:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_orientation_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 150))
+        parent = _random_parent(rng, n)
+        edges = np.column_stack((np.arange(1, n), parent[1:]))
+        rng.shuffle(edges)  # orientation and order must not matter
+        flip = rng.random(len(edges)) < 0.5
+        edges[flip] = edges[flip][:, ::-1]
+        got = root_tree_edges(Machine("scan"), n, edges, root=0)
+        assert np.array_equal(got, parent)
+
+    def test_rerooting(self):
+        """The same tree rooted elsewhere: parents flip along the path."""
+        edges = [(0, 1), (1, 2), (2, 3)]
+        got = root_tree_edges(Machine("scan"), 4, edges, root=3)
+        assert got.tolist() == [1, 2, 3, 3]
+
+    def test_wrong_edge_count_rejected(self):
+        with pytest.raises(ValueError, match="tree"):
+            root_tree_edges(Machine("scan"), 4, [(0, 1)])
+
+
+class TestStepComplexity:
+    def test_build_is_polylog(self):
+        def steps(n):
+            parent = np.maximum(np.arange(n) - 1, 0)
+            m = Machine("scan")
+            t = build_rooted_tree(m, parent)
+            t.subtree_sums(np.ones(n, dtype=np.int64))
+            return m.steps
+
+        s1, s2 = steps(256), steps(2048)
+        assert s2 < 2 * s1
+
+    def test_each_plus_query_is_one_scan(self):
+        parent = np.maximum(np.arange(64) - 1, 0)
+        m = Machine("scan")
+        t = build_rooted_tree(m, parent)
+        with m.measure() as r:
+            t.depths()
+        assert r.delta.by_kind.get("scan", 0) == 1

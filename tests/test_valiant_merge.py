@@ -1,0 +1,85 @@
+"""Valiant's O(lg lg n) merge (Table 1 merging row, CREW/CRCW column)."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CapabilityError, Machine
+from repro.baselines import serial_merge, valiant_merge
+
+sorted_lists = st.lists(st.integers(0, 10**4), max_size=150).map(sorted)
+
+
+class TestCorrectness:
+    @given(sorted_lists, sorted_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_matches_serial_merge(self, a, b):
+        m = Machine("crew")
+        out = valiant_merge(m.vector(a), m.vector(b))
+        assert out.to_list() == serial_merge(a, b).tolist()
+
+    def test_empty_sides(self):
+        m = Machine("crew")
+        assert valiant_merge(m.vector([]), m.vector([1, 2])).to_list() == [1, 2]
+        assert valiant_merge(m.vector([3]), m.vector([])).to_list() == [3]
+
+    def test_heavy_duplicates(self):
+        m = Machine("crew")
+        out = valiant_merge(m.vector([5] * 40), m.vector([5] * 25))
+        assert out.to_list() == [5] * 65
+
+    def test_asymmetric_sizes(self, rng):
+        a = np.sort(rng.integers(0, 10**5, 2000))
+        b = np.sort(rng.integers(0, 10**5, 3))
+        m = Machine("crew")
+        out = valiant_merge(m.vector(a), m.vector(b))
+        assert np.array_equal(out.data, serial_merge(a, b))
+
+    def test_unsorted_rejected(self):
+        m = Machine("crew")
+        with pytest.raises(ValueError, match="sorted"):
+            valiant_merge(m.vector([2, 1]), m.vector([3]))
+
+
+class TestCapabilities:
+    def test_requires_concurrent_read(self):
+        for model in ("erew", "scan"):
+            m = Machine(model)
+            with pytest.raises(CapabilityError, match="concurrent read"):
+                valiant_merge(m.vector([1]), m.vector([2]))
+
+    def test_runs_on_crcw(self, rng):
+        m = Machine("crcw")
+        a = np.sort(rng.integers(0, 100, 50))
+        b = np.sort(rng.integers(0, 100, 50))
+        out = valiant_merge(m.vector(a), m.vector(b))
+        assert np.array_equal(out.data, serial_merge(a, b))
+
+
+class TestComplexity:
+    def test_doubly_logarithmic_steps(self, rng):
+        """Table 1: merging is O(lg lg n) on CREW — going from 2^8 to 2^16
+        elements adds at most one recursion level of charges."""
+        def steps(n):
+            a = np.sort(rng.integers(0, 10**6, n))
+            b = np.sort(rng.integers(0, 10**6, n))
+            m = Machine("crew")
+            valiant_merge(m.vector(a), m.vector(b))
+            return m.steps
+
+        s8, s16 = steps(256), steps(65536)
+        assert s16 <= s8 + 4
+
+    def test_beats_erew_halving_merge_in_steps(self, rng):
+        """The lg lg n vs lg n gap of Table 1's merging row (on the models
+        where each is at home)."""
+        from repro.algorithms import halving_merge
+
+        n = 4096
+        a = np.sort(rng.integers(0, 10**6, n))
+        b = np.sort(rng.integers(0, 10**6, n))
+        mc = Machine("crew")
+        valiant_merge(mc.vector(a), mc.vector(b))
+        me = Machine("erew")
+        halving_merge(me.vector(a), me.vector(b))
+        assert mc.steps * 10 < me.steps
