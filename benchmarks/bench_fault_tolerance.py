@@ -1,0 +1,154 @@
+"""Fault tolerance: what does trusting the scan primitive cost?
+
+The detection lattice of :mod:`repro.faults`, measured:
+
+1. **Coverage** — a seeded campaign of uniformly random single-bit flips
+   inside the tree scan circuit, classified per protection scheme
+   (unchecked / streaming checksum / TMR / TMR+checksum).  The headline:
+   TMR masks every single-replica flip, so ``tmr`` and ``tmr+checksum``
+   must reach >= 99% detected-or-masked.
+2. **Hardware price** — extra cycles, state machines and FIFO bits each
+   scheme pays over the plain circuit.
+3. **Recovery** — a checked ``Machine`` whose injector corrupts scan
+   outputs: every fault must be detected by the Section 3.4
+   cross-verification and retried into a correct result, with the fault
+   ledger reconciling exactly.
+4. **Degradation** — retries exhausted, the machine falls back to the
+   EREW ``2⌈lg n⌉`` scan costing and still produces correct results.
+"""
+import numpy as np
+
+from repro import Machine
+from repro.core import scans
+from repro.faults import (
+    CIRCUIT_SCHEMES,
+    FaultInjector,
+    FaultPlan,
+    run_circuit_campaign,
+    run_machine_campaign,
+)
+from repro.faults.campaign import CampaignResult
+from repro.hardware import (
+    ChecksumTreeScanCircuit,
+    PLUS,
+    TMRTreeScanCircuit,
+    TreeScanCircuit,
+    checksum_scan_cycles,
+    tmr_scan_cycles,
+    tree_scan_cycles,
+)
+
+from _common import fmt_row, write_report
+
+N_LEAVES, WIDTH, TRIALS = 8, 8, 250
+
+_report_lines: dict[str, list[str]] = {}
+
+
+def _publish(section: str, lines: list[str]) -> None:
+    """Accumulate sections and rewrite the single results file; sections
+    arrive in test order, so the file is complete after the last test."""
+    _report_lines[section] = lines
+    flat = []
+    for ls in _report_lines.values():
+        flat.extend(ls + [""])
+    write_report("fault_tolerance", flat[:-1])
+
+
+def test_fault_campaign_coverage(benchmark):
+    results = {s: run_circuit_campaign(s, n_leaves=N_LEAVES, width=WIDTH,
+                                       trials=TRIALS)
+               for s in CIRCUIT_SCHEMES}
+    benchmark(lambda: run_circuit_campaign("checksum", n_leaves=N_LEAVES,
+                                           width=WIDTH, trials=20))
+    lines = [f"Fault-injection campaign: {TRIALS} random single-bit flips "
+             f"per scheme (n={N_LEAVES}, width={WIDTH}, seeded)",
+             CampaignResult.header()]
+    for s in CIRCUIT_SCHEMES:
+        lines.append(results[s].row())
+    _publish("campaign", lines)
+
+    # every scheme strictly improves on the one below it on this seed set
+    assert results["checksum"].coverage > results["unchecked"].coverage
+    assert results["tmr"].coverage >= 0.99
+    assert results["tmr+checksum"].coverage >= 0.99
+    # the acceptance bar: detected-or-masked >= 99% for checksum+TMR
+    covered = results["tmr+checksum"]
+    assert covered.silent <= 0.01 * covered.trials
+    # the unchecked circuit must be visibly vulnerable, or the campaign
+    # is not exercising anything
+    assert results["unchecked"].silent > 0
+
+
+def test_hardware_price():
+    plain = TreeScanCircuit(N_LEAVES, WIDTH, PLUS)
+    csum = ChecksumTreeScanCircuit(N_LEAVES, WIDTH, PLUS)
+    tmr = TMRTreeScanCircuit(N_LEAVES, WIDTH, PLUS)
+    both = TMRTreeScanCircuit(N_LEAVES, WIDTH, PLUS, checksum=True)
+    base_cycles = tree_scan_cycles(N_LEAVES, WIDTH)
+    rows = [
+        ("plain", base_cycles, plain.num_state_machines(),
+         plain.total_shift_register_bits()),
+        ("checksum", checksum_scan_cycles(N_LEAVES, WIDTH),
+         csum.num_state_machines(), csum.total_shift_register_bits()),
+        ("tmr", tmr_scan_cycles(N_LEAVES, WIDTH),
+         tmr.num_state_machines(), tmr.total_shift_register_bits()),
+        ("tmr+checksum", tmr_scan_cycles(N_LEAVES, WIDTH, checksum=True),
+         both.num_state_machines(), both.total_shift_register_bits()),
+    ]
+    lines = [f"Hardware price per scheme (n={N_LEAVES}, width={WIDTH})",
+             fmt_row(["scheme", "cycles", "state machines", "FIFO bits"],
+                     [14, 8, 16, 11])]
+    for name, cyc, sms, bits in rows:
+        lines.append(fmt_row([name, cyc, sms, bits], [14, 8, 16, 11]))
+    _publish("hardware", lines)
+
+    # checksum: constant extra cycles, +1 SM per circuit; TMR: ~3x hardware
+    # at (nearly) unchanged latency
+    assert checksum_scan_cycles(N_LEAVES, WIDTH) == base_cycles + 2
+    assert tmr.num_state_machines() == 3 * plain.num_state_machines()
+    assert tmr_scan_cycles(N_LEAVES, WIDTH) <= base_cycles + 1
+
+
+def test_machine_recovery_ledger(benchmark):
+    res = run_machine_campaign(trials=60, n=64)
+    benchmark(lambda: run_machine_campaign(trials=5, n=64))
+    lines = ["Checked-machine recovery: one scan-output bit flip per trial",
+             res.summary()]
+    _publish("recovery", lines)
+
+    assert res.all_correct
+    assert res.all_reconciled
+    assert res.degraded_machines == 0
+    t = res.totals
+    # every injected fault was caught and retried away, none slipped through
+    assert t.injected == t.detected == t.retried == t.corrected == res.trials
+    assert t.injected - t.detected - t.masked == 0  # undetected == 0
+
+
+def test_degraded_mode_costs():
+    n = 256
+    plan = FaultPlan(probability=1.0, probability_kinds=("scan",), seed=3)
+    m = Machine("scan", reliability=True, fault_injector=FaultInjector(plan))
+    data = np.arange(n)
+    first = scans.plus_scan(m.vector(data))
+    assert m.scan_unit_failed  # persistent corruption wrote the unit off
+    after_fail = m.steps
+    second = scans.plus_scan(m.vector(data))
+    degraded_cost = m.steps - after_fail
+
+    expected = np.zeros(n, dtype=np.int64)
+    np.cumsum(data[:-1], out=expected[1:])
+    assert np.array_equal(first.data, expected)
+    assert np.array_equal(second.data, expected)
+    # the fallback charges the EREW 2 lg n tree, not the unit-step scan
+    assert degraded_cost == 2 * int(np.ceil(np.log2(n)))
+    snap = m.snapshot()
+    assert snap.degraded and snap.by_kind["scan_degraded"] > 0
+
+    healthy = Machine("scan")
+    scans.plus_scan(healthy.vector(data))
+    lines = [f"Degraded mode (n={n}): healthy scan = {healthy.steps} step(s), "
+             f"EREW-fallback scan = {degraded_cost} steps "
+             f"(2 lg n = {2 * int(np.ceil(np.log2(n)))}); results identical"]
+    _publish("degraded", lines)

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .._util import ceil_log2
 from ..core import ops, segmented
 from ..core.vector import Vector
 from ..machine.model import Machine
@@ -43,14 +44,24 @@ class ClosestPairResult:
     pair: tuple[int, int]
 
 
-def closest_pair(machine: Machine, points) -> ClosestPairResult:
-    """Closest pair among integer points (``(n, 2)``, n >= 2)."""
+def closest_pair(machine: Machine, points, *,
+                 max_iterations: int | None = None) -> ClosestPairResult:
+    """Closest pair among integer points (``(n, 2)``, n >= 2).
+
+    ``max_iterations`` bounds the downward median-split sweep; every level
+    halves the largest segment, so the default ``⌈lg n⌉ + 2`` is reached
+    only if the split stops making progress (e.g. corrupted segment
+    descriptors under fault injection), in which case a diagnostic
+    :class:`RuntimeError` is raised instead of looping forever.
+    """
     pts = np.asarray(points, dtype=np.int64)
     if pts.ndim != 2 or pts.shape[1] != 2:
         raise ValueError(f"points must have shape (n, 2), got {pts.shape}")
     n = len(pts)
     if n < 2:
         raise ValueError("need at least two points")
+    if max_iterations is None:
+        max_iterations = ceil_log2(n) + 2
     m = machine
 
     x_ids = Vector(m, _sort_order(m, pts[:, 0]))
@@ -63,10 +74,19 @@ def closest_pair(machine: Machine, points) -> ClosestPairResult:
     # ---- downward sweep: record each level's y-segmentation + divider ---- #
     level_sfy: list[np.ndarray] = []
     level_mid: list[np.ndarray] = []  # per y-position dividing x
+    iteration = 0
     while True:
         sizes = np.diff(np.append(np.flatnonzero(flags_x.data), n))
         if (sizes <= 3).all():
             break
+        if iteration >= max_iterations:
+            big = sizes[sizes > 3]
+            raise RuntimeError(
+                f"closest_pair median split made no progress after "
+                f"{max_iterations} levels: {len(big)} segment(s) larger "
+                f"than 3 points remain (largest has {int(sizes.max())} of "
+                f"{n} points)")
+        iteration += 1
         # the divider of each segment is the x of the first upper-half point
         pos = segmented.seg_index(flags_x)
         length = segmented.seg_plus_distribute(

@@ -167,7 +167,15 @@ def dinic_max_flow(n_vertices: int, arcs, source: int, sink: int) -> int:
         add(int(v), int(u), 0)
 
     flow = 0
-    while True:
+    # Dinic runs at most n-1 phases (the sink's level strictly increases);
+    # exceeding that means the residual graph is being corrupted somewhere
+    max_phases = n_vertices + 1
+    for phase in range(max_phases + 1):
+        if phase == max_phases:
+            raise RuntimeError(
+                f"dinic_max_flow exceeded {max_phases} level-graph phases "
+                f"on {n_vertices} vertices (flow so far: {flow}); the "
+                f"residual network is not converging")
         level = [-1] * n_vertices
         level[source] = 0
         q = deque([source])
@@ -198,7 +206,16 @@ def dinic_max_flow(n_vertices: int, arcs, source: int, sink: int) -> int:
                 it[u] = nxt[e]
             return 0
 
-        while True:
+        # each augmenting path saturates at least one arc, so one phase
+        # cannot push more paths than there are arcs
+        max_augmentations = len(head) + 1
+        for aug in range(max_augmentations + 1):
+            if aug == max_augmentations:
+                raise RuntimeError(
+                    f"dinic_max_flow exceeded {max_augmentations} "
+                    f"augmenting paths in one phase ({len(head)} arcs; "
+                    f"flow so far: {flow}); an augmentation is failing "
+                    f"to saturate any arc")
             pushed = dfs(source, 1 << 60)
             if not pushed:
                 break

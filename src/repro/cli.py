@@ -135,6 +135,60 @@ def _demo(args) -> None:
     print(f"same scan, n=65536, EREW: {e.steps} steps (2 lg n)")
 
 
+def _faults(args) -> None:
+    from . import Machine
+    from .core import scans
+    from .faults import (
+        CIRCUIT_SCHEMES,
+        FaultInjector,
+        FaultPlan,
+        PrimitiveFault,
+        run_circuit_campaign,
+        run_machine_campaign,
+    )
+    from .faults.campaign import CampaignResult
+
+    if args.mode == "campaign":
+        print(f"Single-bit-flip campaign: {args.trials} trials per scheme, "
+              f"n={args.n} leaves, width={args.width}, seed={args.seed}")
+        print(CampaignResult.header())
+        for scheme in CIRCUIT_SCHEMES:
+            r = run_circuit_campaign(scheme, n_leaves=args.n,
+                                     width=args.width, trials=args.trials,
+                                     base_seed=args.seed)
+            print(r.row())
+        return
+
+    # demo: one corrupted scan detected, retried, corrected — then a
+    # machine whose every scan is corrupted degrading to the EREW fallback
+    print("-- checked machine: one scan-output bit flip --")
+    plan = FaultPlan(primitive_faults=(
+        PrimitiveFault(op_index=0, kind="scan", element=3, bit=7),),
+        seed=args.seed)
+    m = Machine("scan", reliability=True, fault_injector=FaultInjector(plan))
+    v = m.vector([2, 1, 2, 3, 5, 8, 13, 21])
+    out = scans.plus_scan(v)
+    print("A          =", v.to_list())
+    print("+-scan(A)  =", out.to_list())
+    print("ledger     =", m.fault_counters.summary())
+    print("steps      =", m.steps, "(verification and the retry are charged)")
+
+    print("\n-- persistent faults: retries exhausted, EREW degradation --")
+    plan = FaultPlan(probability=1.0, probability_kinds=("scan",),
+                     seed=args.seed)
+    m = Machine("scan", reliability=True, fault_injector=FaultInjector(plan))
+    v = m.vector(list(range(16)))
+    out = scans.plus_scan(v)
+    again = scans.plus_scan(v)
+    snap = m.snapshot()
+    print("+-scan(A)  =", out.to_list())
+    print("2nd scan   =", again.to_list()[:8], "...")
+    print("ledger     =", m.fault_counters.summary())
+    print(f"degraded   = {snap.degraded} "
+          f"(scan unit failed: {m.scan_unit_failed}); "
+          f"scan_degraded steps = {snap.by_kind.get('scan_degraded', 0)}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -164,6 +218,17 @@ def main(argv: list[str] | None = None) -> int:
 
     pd = sub.add_parser("demo", help="a 10-second primitive tour")
     pd.set_defaults(func=_demo)
+
+    pf = sub.add_parser("faults",
+                        help="fault injection: detect / mask / degrade")
+    pf.add_argument("mode", nargs="?", choices=["demo", "campaign"],
+                    default="demo")
+    pf.add_argument("--trials", type=int, default=200)
+    pf.add_argument("--n", type=int, default=8,
+                    help="circuit leaves (power of two)")
+    pf.add_argument("--width", type=int, default=8)
+    pf.add_argument("--seed", type=int, default=0)
+    pf.set_defaults(func=_faults)
 
     args = parser.parse_args(argv)
     try:

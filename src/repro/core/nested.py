@@ -61,8 +61,27 @@ class SegmentedVector:
 
     @classmethod
     def from_lengths(cls, values: Vector, lengths) -> "SegmentedVector":
-        """Attach segment structure of the given lengths to a flat vector."""
-        flags = segmented.flags_from_lengths(values.machine, lengths)
+        """Attach segment structure of the given lengths to a flat vector.
+
+        The descriptor is validated here, at construction: lengths must be
+        positive (this representation cannot express an empty segment) and
+        must sum to the flat length — a corrupted descriptor (e.g. from a
+        faulted allocation scan) fails immediately instead of silently
+        mis-segmenting every later operation.
+        """
+        arr = np.asarray(lengths, dtype=np.int64)
+        if (arr <= 0).any():
+            bad = arr[arr <= 0]
+            raise ValueError(
+                f"segment lengths must be positive, got {bad.tolist()} "
+                f"(negative or zero lengths corrupt the segment descriptor)")
+        total = int(arr.sum())
+        if total != len(values):
+            raise ValueError(
+                f"segment lengths sum to {total} but the flat vector holds "
+                f"{len(values)} elements; the descriptor does not tile the "
+                f"vector")
+        flags = segmented.flags_from_lengths(values.machine, arr)
         return cls(values, flags)
 
     def to_nested(self) -> list[list]:

@@ -82,11 +82,24 @@ def min_identity(dtype: np.dtype):
 # The two primitives
 # --------------------------------------------------------------------- #
 
+def _checked_dispatch(v: Vector) -> bool:
+    """True when this scan must route through the checked executor
+    (:mod:`repro.faults.checked`): the machine has a reliability policy or
+    a hard-failed scan unit, and we are not already inside a checked scan."""
+    m = v.machine
+    return ((m.reliability is not None or m.scan_unit_failed)
+            and not m._suppress_scan_check)
+
+
 def plus_scan(v: Vector) -> Vector:
     """Exclusive ``+-scan``: ``out[i] = v[0] + ... + v[i-1]``, ``out[0] = 0``.
 
     One of the two primitive scans; one program step.
     """
+    if _checked_dispatch(v):
+        from ..faults.checked import reliable_plus_scan
+
+        return reliable_plus_scan(v)
     v.machine.charge_scan(len(v))
     data = v.data
     if data.dtype == np.bool_:
@@ -95,6 +108,9 @@ def plus_scan(v: Vector) -> Vector:
     if len(data):
         out[0] = 0
         np.cumsum(data[:-1], out=out[1:])
+    inj = v.machine.fault_injector
+    if inj is not None:
+        out = inj.corrupt_primitive("scan", out)
     return Vector(v.machine, out)
 
 
@@ -105,6 +121,10 @@ def max_scan(v: Vector, identity=None) -> Vector:
     to the smallest representable value of the dtype; pass ``identity=0`` to
     match the paper's unsigned-integer figures.
     """
+    if _checked_dispatch(v):
+        from ..faults.checked import reliable_max_scan
+
+        return reliable_max_scan(v, identity=identity)
     v.machine.charge_scan(len(v))
     data = v.data
     if identity is None:
@@ -114,6 +134,9 @@ def max_scan(v: Vector, identity=None) -> Vector:
         out[0] = identity
         np.maximum.accumulate(data[:-1], out=out[1:])
         np.maximum(out[1:], identity, out=out[1:])
+    inj = v.machine.fault_injector
+    if inj is not None:
+        out = inj.corrupt_primitive("scan", out)
     return Vector(v.machine, out)
 
 

@@ -43,6 +43,8 @@ __all__ = [
     "sim_seg_plus_scan",
     "sim_float_max_scan",
     "sim_float_min_scan",
+    "sim_verify_plus_scan",
+    "sim_verify_max_scan",
 ]
 
 
@@ -185,3 +187,70 @@ def sim_float_min_scan(v: Vector) -> Vector:
     """Floating-point ``min-scan``: negate, float ``max-scan``, negate."""
     out = sim_float_max_scan(-v)
     return -out
+
+
+# --------------------------------------------------------------------- #
+# Self-checking scans: cross-verify a primitive result against an
+# independent construction (the detection half of repro.faults)
+# --------------------------------------------------------------------- #
+
+def sim_verify_plus_scan(v: Vector, out: Vector) -> bool:
+    """Cross-verify ``out == plus_scan(v)`` by the Section 3.4 backward
+    construction: an *independent* backward ``+-scan`` gives the suffix
+    sums, and for an exclusive forward/backward pair
+
+    ::
+
+        out[i] + back[i] + v[i] == +-reduce(v)      for every i
+
+    A corruption of any single element of ``out`` (or of the verifying
+    scan — a benign false alarm) breaks the identity at that element.
+    Every operation charges its true steps: one extra scan, two permutes
+    (the reversals), the three-way add, and the comparison's and-reduce —
+    the measured cost of making a scan self-checking at machine level.
+
+    Float vectors are compared with a relative tolerance (forward and
+    backward float sums round differently); integer and boolean vectors
+    are compared exactly.
+    """
+    m = v.machine
+    n = len(v)
+    if n == 0:
+        return True
+    back = sim_back_plus_scan(v)
+    total = scans.plus_reduce(v)
+    m.charge_elementwise(n)  # out + back + v
+    resid = out.data + back.data + v.data
+    m.charge_elementwise(n)  # compare against the distributed total
+    if np.issubdtype(resid.dtype, np.floating):
+        match = np.isclose(resid, total, rtol=1e-9, atol=0.0)
+    else:
+        match = resid == total
+    m.charge_reduce(n)       # and-reduce of the per-element verdicts
+    return bool(match.all())
+
+
+def sim_verify_max_scan(v: Vector, out: Vector, identity=None) -> bool:
+    """Cross-verify ``out == max_scan(v, identity)`` by the defining
+    recurrence of the exclusive scan (Section 1.1):
+
+    ::
+
+        out[0] == identity,   out[i+1] == max(out[i], v[i])
+
+    checked in parallel with one elementwise max, one unit shift and one
+    and-reduce.  The recurrence is complete: *any* vector other than the
+    true scan violates it at its first wrong element, so a single
+    corrupted element is always caught.  Charges its true extra steps.
+    """
+    m = v.machine
+    n = len(v)
+    if n == 0:
+        return True
+    if identity is None:
+        identity = scans.max_identity(v.dtype)
+    inc = out.maximum(v)                    # inclusive scan candidate
+    expected = inc.shift(1, fill=identity)  # expected[0] = identity
+    m.charge_elementwise(n)                 # compare
+    m.charge_reduce(n)                      # and-reduce of the verdicts
+    return bool((out.data == expected.data).all())

@@ -104,14 +104,22 @@ class Vector:
         out = func(self._data, rhs)
         if dtype is not None:
             out = out.astype(dtype)
-        return self._wrap(out)
+        return self._wrap(self._maybe_corrupt("elementwise", out))
 
     def _unary(self, func: Callable, dtype=None) -> "Vector":
         self.machine.charge_elementwise(len(self))
         out = func(self._data)
         if dtype is not None:
             out = out.astype(dtype)
-        return self._wrap(out)
+        return self._wrap(self._maybe_corrupt("elementwise", out))
+
+    def _maybe_corrupt(self, kind: str, out: np.ndarray) -> np.ndarray:
+        """Fault-injection hook (:mod:`repro.faults`): no-op unless the
+        machine carries an injector scheduling faults for ``kind``."""
+        inj = self.machine.fault_injector
+        if inj is None:
+            return out
+        return inj.corrupt_primitive(kind, out)
 
     def __add__(self, other) -> "Vector":
         return self._binary(other, np.add)
@@ -212,7 +220,8 @@ class Vector:
         if isinstance(if_false, Vector):
             self._check_same_machine(if_false)
         self.machine.charge_elementwise(len(self))
-        return self._wrap(np.where(self._data, t, f))
+        return self._wrap(self._maybe_corrupt("elementwise",
+                                              np.where(self._data, t, f)))
 
     # ------------------------------------------------------------------ #
     # Communication operations
@@ -242,7 +251,7 @@ class Vector:
         self.machine.charge_permute(max(len(self), n_out))
         out = np.full(n_out, default, dtype=self._data.dtype)
         out[idx] = self._data
-        return self._wrap(out)
+        return self._wrap(self._maybe_corrupt("permute", out))
 
     def gather(self, index: "Vector") -> "Vector":
         """``A[I]``: each processor reads the cell named by its index.

@@ -1,0 +1,63 @@
+"""Fault injection and fault-tolerant execution (``repro.faults``).
+
+The paper's machine treats scans as primitives it can *trust*; this
+package asks what that trust costs.  It has three layers:
+
+* **Injection** (:mod:`repro.faults.plan`): seeded, deterministic
+  :class:`FaultPlan`/:class:`FaultInjector` pairs that flip state bits in
+  the logic-level scan circuits, drop or misdirect router flits, and
+  corrupt machine-primitive outputs — replayable bit-for-bit from a seed.
+* **Detection & masking** (:mod:`repro.hardware.selfcheck`,
+  :mod:`repro.hardware.tmr`, :func:`repro.core.simulate.sim_verify_plus_scan`):
+  a cheap streaming checksum, a TMR voted circuit, and complete
+  machine-level cross-verification, each charging its true extra cost.
+* **Recovery** (:mod:`repro.faults.checked`): ``Machine(reliability=...)``
+  verifies every primitive scan, retries on mismatch, and degrades to the
+  EREW ``2⌈lg n⌉`` tree-scan costing once the scan unit is written off.
+
+With no injector and no reliability policy attached, every hook is a
+``None`` check: step and cycle counts stay bit-identical to the plain
+simulators.  :mod:`repro.faults.campaign` quantifies coverage.
+"""
+from .campaign import (
+    CIRCUIT_SCHEMES,
+    CampaignResult,
+    MachineCampaignResult,
+    run_circuit_campaign,
+    run_machine_campaign,
+)
+from .checked import reliable_max_scan, reliable_plus_scan
+from .plan import (
+    CIRCUIT_FIELDS,
+    SEGMENTED_FIELDS,
+    CircuitFault,
+    FaultInjector,
+    FaultPlan,
+    PrimitiveFault,
+    ReliabilityPolicy,
+    RouterFault,
+    ScanVerificationError,
+    random_tree_fault_plan,
+    tree_fifo_length,
+)
+
+__all__ = [
+    "CIRCUIT_FIELDS",
+    "CIRCUIT_SCHEMES",
+    "CampaignResult",
+    "CircuitFault",
+    "FaultInjector",
+    "FaultPlan",
+    "MachineCampaignResult",
+    "PrimitiveFault",
+    "ReliabilityPolicy",
+    "RouterFault",
+    "SEGMENTED_FIELDS",
+    "ScanVerificationError",
+    "random_tree_fault_plan",
+    "reliable_max_scan",
+    "reliable_plus_scan",
+    "run_circuit_campaign",
+    "run_machine_campaign",
+    "tree_fifo_length",
+]

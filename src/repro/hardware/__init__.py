@@ -6,6 +6,8 @@ comparison partners.
 * :mod:`repro.hardware.bitonic_net` — a bit-serial bitonic sorting network.
 * :mod:`repro.hardware.router` — a bit-serial hypercube router (the cost of
   an arbitrary memory reference).
+* :mod:`repro.hardware.selfcheck` — the streaming checksum-checked scan.
+* :mod:`repro.hardware.tmr` — the triple-modular-redundant voted scan.
 * :mod:`repro.hardware.analysis` — Tables 2 and 4 and the §3.3 example
   system, from the circuits above.
 """
@@ -25,11 +27,19 @@ from .segmented_tree import (
     segmented_scan_cycles,
     simulated_segmented_scan_cycles,
 )
+from .selfcheck import (
+    CHECK_EXTRA_CYCLES,
+    ChecksumTreeScanCircuit,
+    checksum_scan_cycles,
+)
+from .tmr import TMRStats, TMRTreeScanCircuit, tmr_scan_cycles
 from .tree import MAX, PLUS, TreeScanCircuit, tree_scan_cycles
 from .unit import GateLevelSumStateMachine, ShiftRegister, SumStateMachine
 
 __all__ = [
     "BitonicNetwork",
+    "CHECK_EXTRA_CYCLES",
+    "ChecksumTreeScanCircuit",
     "ExampleSystem",
     "GateLevelSumStateMachine",
     "HypercubeRouter",
@@ -39,10 +49,13 @@ __all__ = [
     "SegmentedTreeScanCircuit",
     "ShiftRegister",
     "SumStateMachine",
+    "TMRStats",
+    "TMRTreeScanCircuit",
     "TreeScanCircuit",
     "bitonic_depth",
     "bitonic_network_cycles",
     "bitonic_on_hypercube_cycles",
+    "checksum_scan_cycles",
     "example_system",
     "route_cycles_model",
     "scan_vs_memory",
@@ -50,6 +63,7 @@ __all__ = [
     "simulated_segmented_scan_cycles",
     "sort_comparison",
     "split_radix_cycles",
+    "tmr_scan_cycles",
     "tree_scan_cycles",
     "wormhole_route_cycles",
 ]

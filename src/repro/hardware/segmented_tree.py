@@ -51,7 +51,8 @@ class SegmentedTreeScanCircuit:
     """Word-level simulation of the segmented tree scan, ``op`` in
     ``{"plus", "max"}``."""
 
-    def __init__(self, n_leaves: int, width: int, op: str = "plus") -> None:
+    def __init__(self, n_leaves: int, width: int, op: str = "plus", *,
+                 injector=None) -> None:
         if n_leaves < 2 or (n_leaves & (n_leaves - 1)) != 0:
             raise ValueError("n_leaves must be a power of two >= 2")
         if op not in ("plus", "max"):
@@ -60,6 +61,10 @@ class SegmentedTreeScanCircuit:
         self.width = width
         self.op = op
         self.lg = ceil_log2(n_leaves)
+        #: optional :class:`repro.faults.FaultInjector`; this simulator is
+        #: sweep-level, so faults address ``(unit, field, bit)`` with the
+        #: ``seg_*`` fields (the ``cycle`` coordinate is ignored)
+        self.injector = injector
 
     def _identity(self):
         return 0 if self.op == "plus" else 0  # unsigned max identity
@@ -81,6 +86,7 @@ class SegmentedTreeScanCircuit:
             raise ValueError("the first leaf must start a segment")
 
         n = self.n
+        faults = self._faults_by_unit()
         # up sweep: heap-indexed summaries (value, flag) per node
         sum_v = np.zeros(2 * n, dtype=np.int64)
         sum_f = np.zeros(2 * n, dtype=bool)
@@ -94,6 +100,16 @@ class SegmentedTreeScanCircuit:
             stored_v[u], stored_f[u] = lv, lf
             sum_v[u] = rv if rf else self._combine(lv, rv)
             sum_f[u] = lf | rf
+            for f in faults.get(u, ()):
+                if f.field == "seg_up":
+                    sum_v[u] ^= 1 << (f.bit % self.width)
+                elif f.field == "seg_flag":
+                    sum_f[u] = not sum_f[u]
+                elif f.field == "seg_stored":
+                    stored_v[u] ^= 1 << (f.bit % self.width)
+                else:
+                    continue  # seg_carry applies on the down sweep
+                self.injector.record_injected()
 
         # down sweep: carries flow from the root (tied to the identity)
         carry = np.zeros(2 * n, dtype=np.int64)
@@ -103,7 +119,24 @@ class SegmentedTreeScanCircuit:
             carry[2 * u] = c
             lv, lf = stored_v[u], stored_f[u]
             carry[2 * u + 1] = lv if lf else self._combine(c, lv)
+            for child in (2 * u, 2 * u + 1):
+                for f in faults.get(child, ()):
+                    if f.field == "seg_carry":
+                        carry[child] ^= 1 << (f.bit % self.width)
+                        self.injector.record_injected()
 
         # a leaf that starts a segment sees the identity, not the carry
         out = np.where(segf, self._identity(), carry[n:])
         return out, segmented_scan_cycles(self.n, self.width)
+
+    def _faults_by_unit(self) -> dict:
+        """Word-level fault schedule, grouped by heap node index."""
+        if self.injector is None:
+            return {}
+        by_unit: dict[int, list] = {}
+        for f in self.injector.segmented_faults():
+            if not 1 <= f.unit < 2 * self.n:
+                raise ValueError(
+                    f"segmented fault unit {f.unit} outside [1, {2 * self.n})")
+            by_unit.setdefault(f.unit, []).append(f)
+        return by_unit

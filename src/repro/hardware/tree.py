@@ -35,9 +35,18 @@ def tree_scan_cycles(n_leaves: int, width: int) -> int:
 
 class TreeScanCircuit:
     """A reusable scan circuit over ``n_leaves`` (a power of two >= 2)
-    bit-serial inputs of ``width`` bits."""
+    bit-serial inputs of ``width`` bits.
 
-    def __init__(self, n_leaves: int, width: int, op: int) -> None:
+    ``injector`` (a :class:`repro.faults.FaultInjector`, settable after
+    construction) flips scheduled state bits mid-scan — see
+    :data:`repro.faults.CIRCUIT_FIELDS` for the addressable state.  With
+    no injector the simulation is bit-identical to the unfaulted circuit.
+    ``replica_id`` selects which faults apply when the circuit is one
+    copy of a TMR triple (:class:`repro.hardware.TMRTreeScanCircuit`).
+    """
+
+    def __init__(self, n_leaves: int, width: int, op: int, *,
+                 injector=None, replica_id: int = 0) -> None:
         if n_leaves < 2 or (n_leaves & (n_leaves - 1)) != 0:
             raise ValueError("n_leaves must be a power of two >= 2")
         if width < 1:
@@ -54,6 +63,11 @@ class TreeScanCircuit:
         self.fifo = {u: ShiftRegister(2 * (u.bit_length() - 1))
                      for u in range(1, n_leaves)}
         self.cycles_run = 0
+        self.injector = injector
+        self.replica_id = replica_id
+        # the root's up-sweep output per cycle: the reduction streams out
+        # here for free, which is what the checksum checker taps
+        self.last_root_stream: list[int] = []
 
     # ------------------------------------------------------------------ #
 
@@ -88,6 +102,7 @@ class TreeScanCircuit:
 
         out_bits = np.zeros((n, w), dtype=np.int64)
         deepest = range(n // 2, n)  # units whose children are the leaves
+        root_stream: list[int] = []
 
         for t in range(total_cycles):
             # snapshot previous outputs (synchronous update)
@@ -117,6 +132,10 @@ class TreeScanCircuit:
                 left_out[u] = p
                 right_out[u] = self.down_sm[u].step(p, delayed)
 
+            if self.injector is not None:
+                self._apply_faults(t, up_out, left_out, right_out)
+            root_stream.append(up_out[1])
+
             # leaf results appear after the pipeline delay
             bit_idx = t - (2 * lg - 2)
             if 0 <= bit_idx < w:
@@ -126,8 +145,69 @@ class TreeScanCircuit:
                     out_bits[leaf_l + 1, bit_idx] = right_out[u]
 
         self.cycles_run += total_cycles
+        self.last_root_stream = root_stream
         results = self._assemble(out_bits, msb_first)
         return results, total_cycles
+
+    # ------------------------------------------------------------------ #
+    # Fault hooks (repro.faults)
+    # ------------------------------------------------------------------ #
+
+    def _apply_faults(self, t: int, up_out: dict, left_out: dict,
+                      right_out: dict) -> None:
+        """Flip the state bits the injector schedules at cycle ``t``.
+
+        Output-register flips (``up_s``/``down_s``/``down_left``) are
+        applied to both the flip-flop and its wire so this cycle's readers
+        and next cycle's snapshot see the same (faulty) value, exactly as
+        a latched upset would behave.
+        """
+        for f in self.injector.circuit_faults_at(t, self.replica_id):
+            u = f.unit
+            if not 1 <= u < self.n:
+                raise ValueError(f"fault unit {u} outside [1, {self.n})")
+            if f.field == "up_s":
+                self.up_sm[u].s ^= 1
+                up_out[u] ^= 1
+            elif f.field == "up_q1":
+                self.up_sm[u].q1 ^= 1
+            elif f.field == "up_q2":
+                self.up_sm[u].q2 ^= 1
+            elif f.field == "down_s":
+                self.down_sm[u].s ^= 1
+                right_out[u] ^= 1
+            elif f.field == "down_q1":
+                self.down_sm[u].q1 ^= 1
+            elif f.field == "down_q2":
+                self.down_sm[u].q2 ^= 1
+            elif f.field == "down_left":
+                left_out[u] ^= 1
+            elif f.field == "fifo":
+                fifo = self.fifo[u]
+                if fifo.length == 0:  # the root's FIFO is a plain wire
+                    continue
+                fifo.bits[f.bit % fifo.length] ^= 1
+            else:
+                raise ValueError(f"unknown tree-circuit fault field "
+                                 f"{f.field!r}")
+            self.injector.record_injected()
+
+    def last_reduction(self) -> int:
+        """The reduction of the most recent scan, assembled from the
+        root's up-sweep output stream (bit ``i`` of the total reaches the
+        root at cycle ``i + lg n - 1``).  This is the circuit's *own*
+        total — a fault on the up sweep corrupts it too, which is exactly
+        the exposure the checksum check has in real hardware."""
+        lg, w = self.lg, self.width
+        bits = self.last_root_stream[lg - 1:lg - 1 + w]
+        if len(bits) != w:
+            raise RuntimeError("no scan has been run yet")
+        if self.op == MAX:  # MSB first
+            value = 0
+            for b in bits:
+                value = (value << 1) | (b & 1)
+            return value
+        return sum((b & 1) << i for i, b in enumerate(bits))
 
     def _input_bit(self, value: int, t: int, msb_first: bool) -> int:
         """Bit ``t`` of the serial input stream for ``value`` (zero once all

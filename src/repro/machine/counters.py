@@ -12,7 +12,62 @@ from collections import Counter
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-__all__ = ["StepCounter", "StepSnapshot"]
+__all__ = ["FaultCounters", "StepCounter", "StepSnapshot"]
+
+
+@dataclass
+class FaultCounters:
+    """Bookkeeping for the fault-tolerance layer (:mod:`repro.faults`).
+
+    ``injected`` is incremented by a :class:`~repro.faults.FaultInjector`
+    each time it actually flips a bit; the remaining counters are
+    incremented by whichever detection/recovery mechanism observed the
+    fault.  The ledger always reconciles:
+    ``injected == detected + masked + undetected``
+    (``undetected`` is the derived remainder — faults nothing noticed,
+    including flips that never reached an output).
+    """
+
+    injected: int = 0
+    #: verification failures observed (checksum mismatch, self-check
+    #: mismatch, delivery-receipt mismatch)
+    detected: int = 0
+    #: faults corrected *without* detection reaching the consumer (a TMR
+    #: vote out-voting a bad replica)
+    masked: int = 0
+    #: retry attempts issued after a detection
+    retried: int = 0
+    #: detected faults whose retry produced a verified result
+    corrected: int = 0
+    #: primitive scans served by the degraded EREW fallback path
+    degraded_scans: int = 0
+
+    @property
+    def undetected(self) -> int:
+        """Injected faults no mechanism flagged or out-voted."""
+        return self.injected - self.detected - self.masked
+
+    def reconciles(self) -> bool:
+        """``injected == detected + masked + undetected`` with every term
+        non-negative (a detection ledger gone wrong shows up here as a
+        negative remainder: more detections than injections)."""
+        terms = (self.injected, self.detected, self.masked, self.retried,
+                 self.corrected, self.degraded_scans, self.undetected)
+        return all(t >= 0 for t in terms)
+
+    def reset(self) -> None:
+        self.injected = 0
+        self.detected = 0
+        self.masked = 0
+        self.retried = 0
+        self.corrected = 0
+        self.degraded_scans = 0
+
+    def summary(self) -> str:
+        return (f"injected={self.injected} detected={self.detected} "
+                f"masked={self.masked} undetected={self.undetected} "
+                f"retried={self.retried} corrected={self.corrected} "
+                f"degraded_scans={self.degraded_scans}")
 
 
 @dataclass(frozen=True)
@@ -22,6 +77,14 @@ class StepSnapshot:
     steps: int
     by_kind: dict[str, int]
     ops: int
+
+    @property
+    def degraded(self) -> bool:
+        """True when any charge in this reading came from the degraded
+        EREW scan fallback (see :mod:`repro.faults`): a machine whose scan
+        unit hard-failed charges its scans under the ``scan_degraded``
+        kind, so the regime is visible in every snapshot and trace."""
+        return bool(self.by_kind.get("scan_degraded"))
 
     def __sub__(self, other: "StepSnapshot") -> "StepSnapshot":
         kinds = Counter(self.by_kind)

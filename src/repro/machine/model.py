@@ -26,7 +26,7 @@ import numpy as np
 
 from .._util import ceil_div, ceil_log2
 from .capabilities import CAPABILITIES, Capabilities
-from .counters import StepCounter, StepSnapshot
+from .counters import FaultCounters, StepCounter, StepSnapshot
 
 __all__ = ["Machine", "CapabilityError"]
 
@@ -62,6 +62,19 @@ class Machine:
     seed:
         Seed for the machine's ``numpy.random.Generator`` used by the
         probabilistic algorithms (quicksort pivots, MST coin flips, MIS).
+    reliability:
+        A :class:`repro.faults.ReliabilityPolicy`, or ``True`` for the
+        default policy.  When set, the primitive scans are *checked*:
+        every ``plus_scan`` / ``max_scan`` is cross-verified against an
+        independent Section 3.4 construction, retried on mismatch, and —
+        once retries are exhausted — the machine degrades to the EREW
+        ``2⌈lg n⌉`` tree-scan costing (see :mod:`repro.faults.checked`).
+        ``None`` (default) leaves scans unchecked and uncharged for
+        verification — step counts are bit-identical to a plain machine.
+    fault_injector:
+        A :class:`repro.faults.FaultInjector` that corrupts primitive
+        outputs (scan / elementwise / permute) on its schedule.  ``None``
+        (default) disables injection with zero overhead.
 
     Examples
     --------
@@ -81,6 +94,8 @@ class Machine:
         num_processors: Optional[int] = None,
         allow_concurrent_write: bool = False,
         seed: Optional[int] = None,
+        reliability=None,
+        fault_injector=None,
     ) -> None:
         if model not in CAPABILITIES:
             raise ValueError(
@@ -96,6 +111,25 @@ class Machine:
         self.concurrent_writes_used = 0
         self.peak_elements = 0
         self.rng = np.random.default_rng(seed)
+        if reliability is True:
+            from ..faults.plan import ReliabilityPolicy
+
+            reliability = ReliabilityPolicy()
+        #: reliability policy for checked scans (None = unchecked)
+        self.reliability = reliability
+        #: fault injector corrupting primitive outputs (None = no injection)
+        self.fault_injector = fault_injector
+        #: fault ledger; shared with the injector's when one is attached
+        self.fault_counters: FaultCounters = (
+            fault_injector.counters if fault_injector is not None
+            else FaultCounters()
+        )
+        #: set when checked scans exhaust retries: every later scan is
+        #: served by the EREW fallback (see ``fail_scan_unit``)
+        self.scan_unit_failed = False
+        # re-entrancy latch: True while a checked scan runs its raw
+        # primitive / verifier (the checker cannot check itself)
+        self._suppress_scan_check = False
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -118,10 +152,21 @@ class Machine:
         return self.processors * self.steps
 
     def reset(self) -> None:
-        """Zero all counters (the RNG state is kept)."""
+        """Zero all counters and clear the degraded-scan latch (the RNG
+        state and any attached injector's schedule position are kept)."""
         self.counter.reset()
         self.concurrent_writes_used = 0
         self.peak_elements = 0
+        self.fault_counters.reset()
+        self.scan_unit_failed = False
+
+    def fail_scan_unit(self) -> None:
+        """Mark the scan unit hard-failed: every subsequent primitive scan
+        is served by the EREW ``2⌈lg n⌉`` fallback (charged as
+        ``scan_degraded``).  Checked machines reach this state on their own
+        when retries are exhausted; calling it directly models a known-bad
+        unit."""
+        self.scan_unit_failed = True
 
     def snapshot(self) -> StepSnapshot:
         return self.counter.snapshot()

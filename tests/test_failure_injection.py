@@ -114,6 +114,55 @@ class TestVectorGuards:
             f.where(b.vector([1, 2]), 0)
 
 
+class TestSegmentedVectorDescriptorCorruption:
+    """A corrupted segment descriptor must fail at construction, before
+    any segmented operation silently mis-segments over it."""
+
+    def test_clean_descriptor_accepted(self):
+        from repro.core.nested import SegmentedVector
+
+        m = Machine("scan")
+        sv = SegmentedVector.from_lengths(m.vector([1, 2, 3, 4, 5]), [2, 3])
+        assert sv.to_nested() == [[1, 2], [3, 4, 5]]
+
+    def test_negative_length_rejected(self):
+        from repro.core.nested import SegmentedVector
+
+        m = Machine("scan")
+        with pytest.raises(ValueError, match="positive"):
+            SegmentedVector.from_lengths(m.vector([1, 2, 3]), [4, -1])
+
+    def test_zero_length_rejected(self):
+        from repro.core.nested import SegmentedVector
+
+        m = Machine("scan")
+        with pytest.raises(ValueError, match="positive"):
+            SegmentedVector.from_lengths(m.vector([1, 2, 3]), [2, 0, 1])
+
+    def test_sum_mismatch_rejected(self):
+        from repro.core.nested import SegmentedVector
+
+        m = Machine("scan")
+        with pytest.raises(ValueError, match="sum to 4"):
+            SegmentedVector.from_lengths(m.vector([1, 2, 3]), [2, 2])
+
+    def test_bitflipped_length_rejected(self):
+        from repro.core.nested import SegmentedVector
+
+        m = Machine("scan")
+        lengths = np.array([2, 3], dtype=np.int64)
+        lengths[1] ^= np.int64(1) << 62  # a single stuck bit in the descriptor
+        with pytest.raises(ValueError):
+            SegmentedVector.from_lengths(m.vector([1, 2, 3, 4, 5]), lengths)
+
+    def test_flag_vector_mismatch_rejected(self):
+        from repro.core.nested import SegmentedVector
+
+        m = Machine("scan")
+        with pytest.raises(ValueError):
+            SegmentedVector(m.vector([1, 2, 3]), m.flags([False, True, False]))
+
+
 class TestAlgorithmInputGuards:
     def test_mst_rejects_isolated_vertex(self):
         from repro.algorithms import minimum_spanning_tree

@@ -1,0 +1,479 @@
+"""The fault-injection and fault-tolerance layer (repro.faults).
+
+Covers the three layers of the subsystem: deterministic injection
+(plans, replay), detection and masking (checksum, TMR, machine-level
+cross-verification), and recovery (retry, EREW degradation) — plus the
+zero-overhead guarantee: with nothing attached, step and cycle counts
+are bit-identical to the plain simulators.
+"""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.core import scans
+from repro.core.simulate import sim_verify_max_scan, sim_verify_plus_scan
+from repro.faults import (
+    CircuitFault,
+    FaultInjector,
+    FaultPlan,
+    PrimitiveFault,
+    ReliabilityPolicy,
+    RouterFault,
+    ScanVerificationError,
+    random_tree_fault_plan,
+    run_circuit_campaign,
+    run_machine_campaign,
+    tree_fifo_length,
+)
+from repro.hardware import (
+    MAX,
+    PLUS,
+    ChecksumTreeScanCircuit,
+    HypercubeRouter,
+    SegmentedTreeScanCircuit,
+    TMRTreeScanCircuit,
+    TreeScanCircuit,
+    checksum_scan_cycles,
+    tmr_scan_cycles,
+    tree_scan_cycles,
+)
+from repro.machine.counters import FaultCounters
+
+
+def _exclusive_plus(vals, width):
+    out = np.zeros(len(vals), dtype=np.int64)
+    np.cumsum(np.asarray(vals)[:-1], out=out[1:])
+    return out & ((1 << width) - 1)
+
+
+class TestFaultPlan:
+    def test_empty_plan(self):
+        assert FaultPlan().empty
+        assert not FaultPlan(probability=0.5).empty
+
+    def test_rejects_unknown_circuit_field(self):
+        with pytest.raises(ValueError, match="field"):
+            FaultPlan(circuit_faults=(CircuitFault(0, 1, "bogus"),))
+
+    def test_rejects_unknown_primitive_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultPlan(primitive_faults=(PrimitiveFault(0, kind="gather"),))
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultPlan(probability=1.5)
+
+    def test_rejects_bad_router_kind(self):
+        with pytest.raises(ValueError, match="drop"):
+            RouterFault(dimension=0, message=0, kind="explode")
+
+    def test_policy_rejects_negative_retries(self):
+        with pytest.raises(ValueError, match="retries"):
+            ReliabilityPolicy(max_retries=-1)
+
+    def test_random_plan_deterministic(self):
+        a = random_tree_fault_plan(42, n_leaves=16, width=8)
+        b = random_tree_fault_plan(42, n_leaves=16, width=8)
+        assert a == b
+        assert len(a.circuit_faults) == 1
+        f = a.circuit_faults[0]
+        assert 1 <= f.unit < 16
+        assert 0 <= f.cycle < tree_scan_cycles(16, 8)
+
+    def test_random_plans_cover_sites(self):
+        fields = {random_tree_fault_plan(s, n_leaves=8, width=8)
+                  .circuit_faults[0].field for s in range(200)}
+        assert len(fields) >= 6  # nearly every addressable field drawn
+
+    def test_fifo_length_helper(self):
+        assert tree_fifo_length(1) == 0          # root
+        assert tree_fifo_length(2) == 2
+        assert tree_fifo_length(7) == 4
+
+
+class TestZeroOverhead:
+    """Injection disabled must cost nothing and change nothing."""
+
+    def _run_program(self, m):
+        v = m.vector([3, 1, 4, 1, 5, 9, 2, 6])
+        out = scans.plus_scan(v)
+        out = scans.max_scan(out + v)
+        out = out.permute(m.vector([7, 6, 5, 4, 3, 2, 1, 0]))
+        return out, m.snapshot()
+
+    def test_machine_counts_identical_with_empty_plan(self):
+        plain_out, plain_snap = self._run_program(Machine("scan"))
+        inj = FaultInjector(FaultPlan())
+        faulty_out, faulty_snap = self._run_program(
+            Machine("scan", fault_injector=inj))
+        assert plain_out.to_list() == faulty_out.to_list()
+        assert plain_snap.by_kind == faulty_snap.by_kind
+        assert inj.counters.injected == 0
+
+    def test_default_machine_has_clean_fault_state(self):
+        m = Machine("scan")
+        assert m.fault_injector is None and m.reliability is None
+        assert not m.scan_unit_failed
+        assert m.fault_counters.injected == 0
+        _, snap = self._run_program(m)
+        assert not snap.degraded
+
+    def test_circuit_cycles_identical_with_empty_plan(self):
+        vals = np.arange(8) * 31 % 256
+        plain = TreeScanCircuit(8, 8, PLUS)
+        faulty = TreeScanCircuit(8, 8, PLUS, injector=FaultInjector(FaultPlan()))
+        po, pc = plain.scan(vals)
+        fo, fc = faulty.scan(vals)
+        assert np.array_equal(po, fo) and pc == fc
+
+    def test_erew_model_unchanged(self):
+        m = Machine("erew")
+        scans.plus_scan(m.vector(range(1024)))
+        assert m.steps == 2 * 10  # the seed's 2 lg n costing
+
+
+class TestCircuitInjection:
+    def test_up_s_flip_corrupts_output(self):
+        vals = np.array([1, 2, 3, 4, 5, 6, 7, 8])
+        plan = FaultPlan(circuit_faults=(CircuitFault(
+            cycle=0, unit=4, field="up_s"),))
+        inj = FaultInjector(plan)
+        c = TreeScanCircuit(8, 8, PLUS, injector=inj)
+        out, _ = c.scan(vals)
+        assert not np.array_equal(out, _exclusive_plus(vals, 8))
+        assert inj.counters.injected == 1
+
+    def test_faults_reapply_every_scan(self):
+        plan = FaultPlan(circuit_faults=(CircuitFault(
+            cycle=0, unit=4, field="up_s"),))
+        inj = FaultInjector(plan)
+        c = TreeScanCircuit(8, 8, PLUS, injector=inj)
+        vals = np.arange(8)
+        o1, _ = c.scan(vals)
+        o2, _ = c.scan(vals)
+        assert np.array_equal(o1, o2)  # the schedule replays per run
+        assert inj.counters.injected == 2
+
+    def test_replay_is_deterministic(self):
+        for seed in range(20):
+            plan = random_tree_fault_plan(seed, n_leaves=8, width=8)
+            vals = np.random.default_rng(seed).integers(0, 256, 8)
+            o1, _ = TreeScanCircuit(8, 8, PLUS,
+                                    injector=FaultInjector(plan)).scan(vals)
+            o2, _ = TreeScanCircuit(8, 8, PLUS,
+                                    injector=FaultInjector(plan)).scan(vals)
+            assert np.array_equal(o1, o2)
+
+    def test_out_of_range_unit_raises(self):
+        plan = FaultPlan(circuit_faults=(CircuitFault(
+            cycle=0, unit=99, field="up_s"),))
+        c = TreeScanCircuit(8, 8, PLUS, injector=FaultInjector(plan))
+        with pytest.raises(ValueError, match="unit"):
+            c.scan(np.zeros(8, dtype=np.int64))
+
+    def test_fault_on_other_replica_ignored(self):
+        vals = np.arange(8)
+        plan = FaultPlan(circuit_faults=(CircuitFault(
+            cycle=0, unit=4, field="up_s", replica=2),))
+        c = TreeScanCircuit(8, 8, PLUS, injector=FaultInjector(plan))
+        out, _ = c.scan(vals)
+        assert np.array_equal(out, _exclusive_plus(vals, 8))
+
+    def test_segmented_carry_flip(self):
+        plan = FaultPlan(circuit_faults=(CircuitFault(
+            cycle=0, unit=9, field="seg_carry", bit=0),))
+        inj = FaultInjector(plan)
+        c = SegmentedTreeScanCircuit(8, 8, "plus", injector=inj)
+        flags = [True] + [False] * 7
+        out, _ = c.scan([1] * 8, flags)
+        clean, _ = SegmentedTreeScanCircuit(8, 8, "plus").scan([1] * 8, flags)
+        assert not np.array_equal(out, clean)
+        assert inj.counters.injected == 1
+
+    def test_segmented_rejects_bad_unit(self):
+        plan = FaultPlan(circuit_faults=(CircuitFault(
+            cycle=0, unit=16, field="seg_up"),))
+        c = SegmentedTreeScanCircuit(8, 8, "plus", injector=FaultInjector(plan))
+        with pytest.raises(ValueError, match="unit"):
+            c.scan([1] * 8, [True] + [False] * 7)
+
+
+class TestChecksum:
+    def test_clean_scan_passes(self):
+        c = ChecksumTreeScanCircuit(8, 8, PLUS)
+        vals = np.arange(8) * 5 % 256
+        out, cycles, ok = c.scan(vals)
+        assert ok and cycles == checksum_scan_cycles(8, 8)
+        assert np.array_equal(out, _exclusive_plus(vals, 8))
+
+    def test_up_sweep_fault_detected(self):
+        # a flip feeding the root total breaks out[-1] + in[-1] == total
+        plan = FaultPlan(circuit_faults=(CircuitFault(
+            cycle=2, unit=1, field="up_s"),))
+        inj = FaultInjector(plan)
+        c = ChecksumTreeScanCircuit(8, 8, PLUS, injector=inj)
+        _, _, ok = c.scan(np.arange(8))
+        assert not ok
+        assert inj.counters.detected == 1
+
+    def test_max_scan_checksum(self):
+        c = ChecksumTreeScanCircuit(8, 8, MAX)
+        vals = np.array([3, 1, 200, 4, 17, 9, 250, 6])
+        out, _, ok = c.scan(vals)
+        assert ok
+        expected = np.zeros(8, dtype=np.int64)
+        np.maximum.accumulate(vals[:-1], out=expected[1:])
+        assert np.array_equal(out, expected)
+
+
+class TestTMR:
+    def test_single_replica_fault_masked(self):
+        vals = np.arange(8) + 1
+        plan = FaultPlan(circuit_faults=(CircuitFault(
+            cycle=1, unit=4, field="up_s", replica=1),))
+        inj = FaultInjector(plan)
+        t = TMRTreeScanCircuit(8, 8, PLUS, injector=inj)
+        voted, cycles, stats = t.scan(vals)
+        assert np.array_equal(voted, _exclusive_plus(vals, 8))
+        assert stats.disagreements > 0 and stats.flagged
+        assert cycles == tmr_scan_cycles(8, 8)
+        assert inj.counters.masked == 1
+
+    def test_clean_scan_unanimous(self):
+        t = TMRTreeScanCircuit(8, 8, PLUS)
+        voted, _, stats = t.scan(np.arange(8))
+        assert stats.unanimous and not stats.flagged
+        assert np.array_equal(voted, _exclusive_plus(np.arange(8), 8))
+
+    def test_campaign_tmr_checksum_has_no_silent_faults(self):
+        r = run_circuit_campaign("tmr+checksum", trials=120)
+        assert r.silent == 0
+        assert r.coverage >= 0.99
+
+    def test_campaign_lattice_ordering(self):
+        unchecked = run_circuit_campaign("unchecked", trials=120)
+        checksum = run_circuit_campaign("checksum", trials=120)
+        assert unchecked.silent > 0  # faults do land
+        assert checksum.silent < unchecked.silent
+        assert checksum.coverage > unchecked.coverage
+
+
+class TestRouterInjection:
+    def test_clean_route_delivers_all(self):
+        r = HypercubeRouter(8, 8)
+        st = r.route(np.arange(8)[::-1].copy())
+        assert st.delivered == st.messages == 8
+        assert st.dropped == st.misrouted == 0
+
+    def test_drop_and_corrupt(self):
+        plan = FaultPlan(router_faults=(
+            RouterFault(dimension=0, message=3, kind="drop"),
+            RouterFault(dimension=1, message=5, kind="corrupt", bit=2)))
+        inj = FaultInjector(plan)
+        r = HypercubeRouter(8, 8, injector=inj)
+        st = r.route(np.arange(8)[::-1].copy())
+        assert st.dropped == 1 and st.misrouted == 1
+        assert st.delivered + st.dropped + st.misrouted == st.messages
+        assert inj.counters.injected == 2
+
+    def test_corrupt_pending_bit_misroutes(self):
+        # bit 2 is still unrouted at dimension 0, so its corruption steers
+        # the message to the wrong node and e-cube never repairs it
+        plan = FaultPlan(router_faults=(
+            RouterFault(dimension=0, message=0, kind="corrupt", bit=2),))
+        r = HypercubeRouter(8, 8, injector=FaultInjector(plan))
+        st = r.route(np.full(8, 7))  # everyone heads for node 7
+        assert st.misrouted == 1
+        assert st.delivered == 7
+
+    def test_corrupt_routed_bit_is_harmless(self):
+        # bit 0 was already routed by dimension 2; flipping it changes the
+        # address register but not the remaining path
+        plan = FaultPlan(router_faults=(
+            RouterFault(dimension=2, message=0, kind="corrupt", bit=0),))
+        inj = FaultInjector(plan)
+        r = HypercubeRouter(8, 8, injector=inj)
+        st = r.route(np.full(8, 7))
+        assert st.delivered == 8 and st.misrouted == 0
+        assert inj.counters.injected == 1  # the flip did happen
+
+
+class TestVerifiers:
+    def test_plus_verifier_accepts_and_rejects(self):
+        m = Machine("scan")
+        v = m.vector([2, 1, 2, 3, 5, 8])
+        good = scans.plus_scan(v)
+        assert sim_verify_plus_scan(v, good)
+        for i in range(len(v)):
+            bad = good.to_array()
+            bad[i] ^= 4
+            assert not sim_verify_plus_scan(v, m.vector(bad))
+
+    def test_max_verifier_complete(self):
+        m = Machine("scan")
+        v = m.vector([3, 1, 4, 1, 5, 9, 2, 6])
+        good = scans.max_scan(v, identity=0)
+        assert sim_verify_max_scan(v, good, identity=0)
+        for i in range(len(v)):
+            bad = good.to_array()
+            bad[i] += 1
+            assert not sim_verify_max_scan(v, m.vector(bad), identity=0)
+
+    def test_float_verifier_tolerates_rounding(self):
+        m = Machine("scan")
+        rng = np.random.default_rng(0)
+        v = m.vector(rng.random(512))
+        out = scans.plus_scan(v)
+        assert sim_verify_plus_scan(v, out)
+
+    def test_verification_charges_steps(self):
+        m = Machine("scan")
+        v = m.vector([1, 2, 3, 4])
+        out = scans.plus_scan(v)
+        before = m.steps
+        sim_verify_plus_scan(v, out)
+        assert m.steps > before
+
+
+class TestCheckedMachine:
+    def test_detect_retry_correct(self):
+        plan = FaultPlan(primitive_faults=(PrimitiveFault(
+            op_index=0, kind="scan", element=2, bit=5),))
+        m = Machine("scan", reliability=True,
+                    fault_injector=FaultInjector(plan))
+        out = scans.plus_scan(m.vector([1, 2, 3, 4, 5, 6, 7, 8]))
+        assert out.to_list() == [0, 1, 3, 6, 10, 15, 21, 28]
+        fc = m.fault_counters
+        assert fc.injected == fc.detected == fc.retried == fc.corrected == 1
+        assert fc.undetected == 0 and fc.reconciles()
+        assert not m.scan_unit_failed
+
+    def test_checked_max_scan(self):
+        plan = FaultPlan(primitive_faults=(PrimitiveFault(
+            op_index=0, kind="scan", element=4, bit=3),))
+        m = Machine("scan", reliability=True,
+                    fault_injector=FaultInjector(plan))
+        out = scans.max_scan(m.vector([3, 1, 4, 1, 5, 9, 2, 6]), identity=0)
+        assert out.to_list() == [0, 3, 3, 4, 4, 5, 9, 9]
+        assert m.fault_counters.corrected == 1
+
+    def test_persistent_fault_degrades_to_erew(self):
+        plan = FaultPlan(probability=1.0, probability_kinds=("scan",), seed=1)
+        m = Machine("scan", reliability=True,
+                    fault_injector=FaultInjector(plan))
+        n = 64
+        out = scans.plus_scan(m.vector(np.arange(n)))
+        expected = np.zeros(n, dtype=np.int64)
+        np.cumsum(np.arange(n - 1), out=expected[1:])
+        assert np.array_equal(out.data, expected)  # degraded but correct
+        assert m.scan_unit_failed
+        assert m.fault_counters.degraded_scans == 1
+        snap = m.snapshot()
+        assert snap.degraded
+        # one degraded scan costs the EREW 2 lg n, visible under its own kind
+        before = m.steps
+        scans.plus_scan(m.vector(np.arange(n)))
+        assert m.steps - before == 12  # 2 * lg 64
+        assert m.snapshot().by_kind["scan_degraded"] >= 12
+
+    def test_policy_can_forbid_degrading(self):
+        plan = FaultPlan(probability=1.0, probability_kinds=("scan",), seed=2)
+        m = Machine("scan",
+                    reliability=ReliabilityPolicy(max_retries=1,
+                                                  degrade_on_failure=False),
+                    fault_injector=FaultInjector(plan))
+        with pytest.raises(ScanVerificationError, match="forbids"):
+            scans.plus_scan(m.vector(np.arange(16)))
+
+    def test_retry_recharges_steps(self):
+        clean = Machine("scan", reliability=True)
+        scans.plus_scan(clean.vector(np.arange(8)))
+        faulty = Machine("scan", reliability=True,
+                         fault_injector=FaultInjector(FaultPlan(
+                             primitive_faults=(PrimitiveFault(
+                                 op_index=0, kind="scan", element=1, bit=1),))))
+        scans.plus_scan(faulty.vector(np.arange(8)))
+        assert faulty.steps > clean.steps  # the failed attempt was paid for
+
+    def test_fail_scan_unit_direct(self):
+        m = Machine("scan")
+        m.fail_scan_unit()
+        out = scans.plus_scan(m.vector([5, 5, 5, 5]))
+        assert out.to_list() == [0, 5, 10, 15]
+        assert m.snapshot().degraded
+
+    def test_reset_clears_degradation(self):
+        m = Machine("scan")
+        m.fail_scan_unit()
+        m.reset()
+        assert not m.scan_unit_failed
+        scans.plus_scan(m.vector([1, 2]))
+        assert not m.snapshot().degraded
+
+    def test_derived_scans_ride_checked_primitives(self):
+        plan = FaultPlan(primitive_faults=(PrimitiveFault(
+            op_index=0, kind="scan", element=1, bit=2),))
+        m = Machine("scan", reliability=True,
+                    fault_injector=FaultInjector(plan))
+        flags = scans.or_scan(m.flags([False, True, False, False]))
+        assert flags.to_list() == [False, False, True, True]
+
+    def test_machine_campaign_reconciles(self):
+        res = run_machine_campaign(trials=25, n=32)
+        assert res.all_correct and res.all_reconciled
+        assert res.totals.undetected == 0
+
+
+class TestPrimitiveCorruption:
+    def test_elementwise_and_permute_faults(self):
+        plan = FaultPlan(primitive_faults=(
+            PrimitiveFault(op_index=0, kind="elementwise", element=1, bit=0),
+            PrimitiveFault(op_index=0, kind="permute", element=0, bit=1)))
+        inj = FaultInjector(plan)
+        m = Machine("scan", fault_injector=inj)
+        v = m.vector([10, 20, 30])
+        w = v + 1  # elementwise invocation 0: element 1 bit 0 flipped
+        assert w.to_list() == [11, 20, 31]
+        p = w.permute(m.vector([0, 1, 2]))  # permute 0: element 0 bit 1
+        assert p.to_list() == [9, 20, 31]
+        assert inj.counters.injected == 2
+
+    def test_probabilistic_corruption_replays(self):
+        plan = FaultPlan(probability=0.5, probability_kinds=("scan",), seed=9)
+        runs = []
+        for _ in range(2):
+            inj = FaultInjector(plan)
+            m = Machine("scan", fault_injector=inj)
+            outs = [scans.plus_scan(m.vector(np.arange(16))).to_list()
+                    for _ in range(6)]
+            runs.append(outs)
+        assert runs[0] == runs[1]  # same seed, same corruption pattern
+        flat = [o for outs in runs for o in outs]
+        clean = list(np.concatenate(([0], np.cumsum(np.arange(15)))))
+        assert any(o != clean for o in flat)  # p=0.5 over 6 scans: some hit
+
+    def test_injector_reset_rewinds_schedule(self):
+        plan = FaultPlan(primitive_faults=(PrimitiveFault(
+            op_index=0, kind="scan", element=3, bit=4),))
+        inj = FaultInjector(plan)
+        m = Machine("scan", fault_injector=inj)
+        first = scans.plus_scan(m.vector(np.arange(8))).to_list()
+        second = scans.plus_scan(m.vector(np.arange(8))).to_list()
+        inj.reset()
+        third = scans.plus_scan(m.vector(np.arange(8))).to_list()
+        assert first == third  # op index rewound: fault re-fires
+        assert first != second
+
+
+class TestFaultCounters:
+    def test_reconciliation_and_summary(self):
+        fc = FaultCounters(injected=5, detected=3, masked=2)
+        assert fc.undetected == 0 and fc.reconciles()
+        fc.detected = 6
+        assert fc.undetected == -3 and not fc.reconciles()
+        assert "injected=5" in FaultCounters(injected=5).summary()
+
+    def test_reset(self):
+        fc = FaultCounters(injected=2, detected=1, retried=1)
+        fc.reset()
+        assert fc.injected == fc.detected == fc.retried == 0

@@ -1,0 +1,130 @@
+"""Property-based tests (hypothesis) for the fault-tolerance guarantees.
+
+The contracts under test:
+
+* **Never silently wrong** — any single bit flip anywhere in the tree
+  scan circuit is either masked by TMR voting or flagged by the
+  checksum/vote; with both defenses up, no flip yields a trusted wrong
+  answer.
+* **Complete machine-level detection** — any single-bit corruption of a
+  primitive scan's output is caught by the Section 3.4 cross-verification
+  and retried into a correct result.
+* **Deterministic replay** — the same seed always reproduces the same
+  faults, bit for bit.
+"""
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import Machine
+from repro.core import scans
+from repro.faults import (
+    CIRCUIT_FIELDS,
+    CircuitFault,
+    FaultInjector,
+    FaultPlan,
+    PrimitiveFault,
+    random_tree_fault_plan,
+    tree_fifo_length,
+)
+from repro.hardware import PLUS, TMRTreeScanCircuit, TreeScanCircuit, tree_scan_cycles
+
+N, W = 8, 8
+
+circuit_fault_strategy = st.builds(
+    CircuitFault,
+    cycle=st.integers(0, tree_scan_cycles(N, W) - 1),
+    unit=st.integers(1, N - 1),
+    field=st.sampled_from(CIRCUIT_FIELDS),
+    bit=st.integers(0, 2 * (N.bit_length() - 1)),
+    replica=st.integers(0, 2),
+)
+
+values_strategy = st.lists(st.integers(0, (1 << W) - 1),
+                           min_size=N, max_size=N)
+
+
+def _golden(vals):
+    out = np.zeros(N, dtype=np.int64)
+    np.cumsum(np.asarray(vals)[:-1], out=out[1:])
+    return out & ((1 << W) - 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(fault=circuit_fault_strategy, vals=values_strategy)
+def test_single_flip_never_silently_wrong(fault, vals):
+    """TMR + checksum: every single-replica flip is masked or flagged."""
+    plan = FaultPlan(circuit_faults=(fault,))
+    circuit = TMRTreeScanCircuit(N, W, PLUS, injector=FaultInjector(plan),
+                                 checksum=True)
+    voted, _, stats = circuit.scan(vals)
+    correct = np.array_equal(np.asarray(voted), _golden(vals))
+    # masked (correct despite the flip) or detected (flagged) — a wrong
+    # result that raised no flag would be a silent corruption
+    assert correct or stats.flagged
+
+
+@settings(max_examples=60, deadline=None)
+@given(fault=circuit_fault_strategy, vals=values_strategy)
+def test_single_flip_is_masked_by_tmr(fault, vals):
+    """The voted output itself is always correct under one faulty replica."""
+    plan = FaultPlan(circuit_faults=(fault,))
+    circuit = TMRTreeScanCircuit(N, W, PLUS, injector=FaultInjector(plan))
+    voted, _, _ = circuit.scan(vals)
+    assert np.array_equal(np.asarray(voted), _golden(vals))
+
+
+@settings(max_examples=60, deadline=None)
+@given(vals=st.lists(st.integers(0, 10**9), min_size=2, max_size=64),
+       element=st.integers(0, 1 << 30), bit=st.integers(0, 62))
+def test_machine_detects_any_scan_output_corruption(vals, element, bit):
+    """The Section 3.4 cross-check catches every single-bit output flip."""
+    plan = FaultPlan(primitive_faults=(PrimitiveFault(
+        op_index=0, kind="scan", element=element % len(vals), bit=bit),))
+    m = Machine("scan", reliability=True,
+                fault_injector=FaultInjector(plan))
+    out = scans.plus_scan(m.vector(vals))
+    expected = np.zeros(len(vals), dtype=np.int64)
+    np.cumsum(np.asarray(vals)[:-1], out=expected[1:])
+    assert np.array_equal(out.data, expected)
+    fc = m.fault_counters
+    assert fc.detected >= 1 and fc.undetected == 0 and fc.reconciles()
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), vals=values_strategy)
+def test_circuit_fault_replay_deterministic(seed, vals):
+    plan = random_tree_fault_plan(seed, n_leaves=N, width=W)
+    assert plan == random_tree_fault_plan(seed, n_leaves=N, width=W)
+    a, _ = TreeScanCircuit(N, W, PLUS, injector=FaultInjector(plan)).scan(vals)
+    b, _ = TreeScanCircuit(N, W, PLUS, injector=FaultInjector(plan)).scan(vals)
+    assert np.array_equal(a, b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1),
+       probability=st.floats(0.1, 1.0, allow_nan=False))
+def test_probabilistic_replay_deterministic(seed, probability):
+    """Seeded random corruption replays exactly across injectors."""
+    plan = FaultPlan(probability=probability, probability_kinds=("scan",),
+                     seed=seed)
+    outs = []
+    for _ in range(2):
+        m = Machine("scan", fault_injector=FaultInjector(plan))
+        outs.append([scans.plus_scan(m.vector(np.arange(32))).to_list()
+                     for _ in range(4)])
+    assert outs[0] == outs[1]
+
+
+@settings(max_examples=40, deadline=None)
+@given(unit=st.integers(2, N - 1), bit=st.integers(0, 63),
+       cycle=st.integers(0, tree_scan_cycles(N, W) - 1))
+def test_fifo_flip_addresses_wrap(unit, bit, cycle):
+    """FIFO faults index modulo the unit's true FIFO length — any (unit,
+    bit) pair is a valid, replayable fault site."""
+    plan = FaultPlan(circuit_faults=(CircuitFault(
+        cycle=cycle, unit=unit, field="fifo", bit=bit),))
+    inj = FaultInjector(plan)
+    c = TreeScanCircuit(N, W, PLUS, injector=inj)
+    c.scan(np.arange(N))
+    assert tree_fifo_length(unit) > 0
+    assert inj.counters.injected == 1
