@@ -6,6 +6,9 @@ The package provides:
 * :class:`repro.Machine` — simulated P-RAM models (``erew``, ``crew``,
   ``crcw``, ``scan``) with exact program-step accounting;
 * :class:`repro.Vector` — machine-owned parallel vectors;
+* :mod:`repro.backends` — pluggable execution engines behind
+  ``Machine.execute`` (vectorized NumPy, chunked-with-carries blocked
+  mode, and a pure-Python differential-testing reference);
 * :mod:`repro.core` — the two scan primitives, all derived and segmented
   scans, and the simple operations of Section 2.2;
 * :mod:`repro.graph` — the segmented graph representation and star-merge;
@@ -28,9 +31,11 @@ Quickstart::
     print(scans.plus_scan(v).to_list())       # [0, 5, 6, 9, 13, 16, 25, 27]
     print(m.steps)                            # 1
 """
+from .backends import Backend, available_backends, get_backend
 from .core.vector import Vector
 from .machine import CapabilityError, Machine
 
 __version__ = "1.0.0"
 
-__all__ = ["CapabilityError", "Machine", "Vector", "__version__"]
+__all__ = ["Backend", "CapabilityError", "Machine", "Vector",
+           "available_backends", "get_backend", "__version__"]

@@ -1,0 +1,88 @@
+"""Pluggable execution backends for the machine's vector primitives.
+
+The cost model (:mod:`repro.machine`) decides what a primitive *charges*;
+a :class:`Backend` decides how it *computes*.  Three are shipped:
+
+* :class:`NumPyBackend` (``"numpy"``, the default) — one vectorized NumPy
+  expression per primitive, behavior- and step-identical to the
+  pre-backend code;
+* :class:`BlockedBackend` (``"blocked"`` / ``"blocked:<chunk>"``) —
+  fixed-size chunks with carry propagation across chunk boundaries, the
+  paper's Figure 10 long-vector schedule executed for real;
+* :class:`ReferenceBackend` (``"reference"``) — pure-Python per-element
+  loops, the differential-testing oracle.
+
+Selection: ``Machine(..., backend="blocked")`` takes a registry name, a
+``"blocked:4096"`` spec with a chunk size, or a :class:`Backend`
+instance; when omitted, the ``REPRO_BACKEND`` environment variable is
+honored (same syntax) before falling back to ``"numpy"``.
+"""
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from .base import Backend
+from .blocked import BlockedBackend
+from .numpy_backend import NumPyBackend
+from .reference import ReferenceBackend
+
+__all__ = [
+    "Backend",
+    "BlockedBackend",
+    "NumPyBackend",
+    "ReferenceBackend",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
+]
+
+_REGISTRY: dict[str, type[Backend]] = {
+    NumPyBackend.name: NumPyBackend,
+    BlockedBackend.name: BlockedBackend,
+    ReferenceBackend.name: ReferenceBackend,
+}
+
+#: environment variable consulted when no backend is passed explicitly
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+def available_backends() -> list[str]:
+    """Registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_backend(spec: str) -> Backend:
+    """Instantiate a backend from a spec string.
+
+    A spec is a registry name, optionally followed by ``:<argument>``;
+    the only argument currently defined is the blocked backend's chunk
+    size (``"blocked:4096"``).
+    """
+    name, _, arg = spec.partition(":")
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {available_backends()}"
+        )
+    if arg:
+        if cls is not BlockedBackend:
+            raise ValueError(f"backend {name!r} takes no {arg!r} argument")
+        return BlockedBackend(chunk=int(arg))
+    return cls()
+
+
+def resolve_backend(backend: Optional[Union[str, Backend]]) -> Backend:
+    """Resolve the ``Machine(backend=...)`` argument: an instance passes
+    through, a string is looked up, and ``None`` consults
+    :data:`BACKEND_ENV_VAR` before defaulting to ``"numpy"``."""
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR) or NumPyBackend.name
+    if isinstance(backend, str):
+        return get_backend(backend)
+    if isinstance(backend, Backend):
+        return backend
+    raise TypeError(
+        f"backend must be a name, a Backend instance or None, "
+        f"got {type(backend).__name__}"
+    )

@@ -1,0 +1,166 @@
+"""The execution-backend protocol: *how* primitives compute.
+
+The paper's central claim is about a **cost model** — what a primitive
+charges (one program step) is a property of the machine model, not of the
+substrate that happens to execute it.  This module makes that separation
+structural: a :class:`Backend` computes raw results on raw NumPy arrays and
+knows nothing about machines, models, steps or faults; the
+:class:`~repro.machine.Machine` owns the charging and routes every
+computation through its single dispatch point
+(:meth:`repro.machine.Machine.execute`), where fault injection also
+attaches.  Swapping the backend changes how vectors are executed —
+all-at-once NumPy, fixed-size chunks with carry propagation, or a
+pure-Python reference loop — while every step count stays bit-identical,
+because charges never flow through a backend.
+
+Semantics contract (shared by every implementation; the differential suite
+in ``tests/test_backends.py`` enforces it):
+
+* every method returns a **fresh** array (or a view of an immutable input)
+  and never mutates its operands;
+* scans are **exclusive**: ``out[i]`` combines elements ``0 .. i-1`` and
+  ``out[0]`` is the operator's identity;
+* ``max_scan`` clamps every output to at least ``identity`` (the paper's
+  unsigned-integer convention), while the *segmented* extreme scans place
+  ``identity`` only at segment heads — exactly the semantics of
+  :mod:`repro.core.scans` / :mod:`repro.core.segmented` before the
+  backend split;
+* segmented operations require ``seg_flags[0]`` to be ``True`` (validated
+  upstream by :func:`repro.core.segmented.check_segment_flags`).
+"""
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, ClassVar
+
+import numpy as np
+
+__all__ = ["Backend"]
+
+
+class Backend(ABC):
+    """Executes vector primitives on raw arrays; charges nothing."""
+
+    #: registry name (``Machine(backend="<name>")`` / ``REPRO_BACKEND``)
+    name: ClassVar[str] = "abstract"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+    # ------------------------------------------------------------------ #
+    # Elementwise
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def elementwise(self, fn: Callable, *operands) -> np.ndarray:
+        """Apply a vectorized elementwise function.
+
+        ``operands`` mix 1-D arrays of one common length with scalar
+        constants (immediates held in the instruction word); ``fn`` is a
+        NumPy ufunc or a composition of ufuncs with no cross-element data
+        flow, so a backend may evaluate it on any partition of the index
+        space.
+        """
+
+    @abstractmethod
+    def adjacent_ne(self, values: np.ndarray) -> np.ndarray:
+        """``out[i] = values[i] != values[i-1]`` with ``out[0] = True``
+        (one unit shift plus one compare — the neighbor-change idiom)."""
+
+    # ------------------------------------------------------------------ #
+    # The two primitive scans
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def plus_scan(self, values: np.ndarray) -> np.ndarray:
+        """Exclusive ``+-scan``; ``out[0] = 0``."""
+
+    @abstractmethod
+    def max_scan(self, values: np.ndarray, identity) -> np.ndarray:
+        """Exclusive ``max-scan``; every output is at least ``identity``."""
+
+    # ------------------------------------------------------------------ #
+    # Communication
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def permute(self, values: np.ndarray, index: np.ndarray, length: int,
+                default) -> np.ndarray:
+        """Exclusive scatter: ``out[index[i]] = values[i]``; unwritten
+        cells hold ``default``.  Indices are pre-validated unique."""
+
+    @abstractmethod
+    def gather(self, values: np.ndarray, index: np.ndarray) -> np.ndarray:
+        """Parallel read: ``out[i] = values[index[i]]``."""
+
+    @abstractmethod
+    def combine_write(self, values: np.ndarray, index: np.ndarray,
+                      length: int, op: str, default) -> np.ndarray:
+        """Scatter with colliding destinations combined by ``op``
+        (``"min"``, ``"max"``, ``"sum"`` or ``"any"`` = last writer wins);
+        untouched cells hold ``default``."""
+
+    @abstractmethod
+    def pack(self, values: np.ndarray, flags: np.ndarray,
+             index: np.ndarray, count: int) -> np.ndarray:
+        """Write each flagged element to ``out[index[i]]`` in a fresh
+        ``count``-element vector (``index`` = ``enumerate(flags)``)."""
+
+    @abstractmethod
+    def shift(self, values: np.ndarray, k: int, fill) -> np.ndarray:
+        """Shift ``k`` places toward higher indices (``k < 0`` lower);
+        vacated cells hold ``fill``."""
+
+    @abstractmethod
+    def reverse(self, values: np.ndarray) -> np.ndarray:
+        """The vector in reverse processor order."""
+
+    # ------------------------------------------------------------------ #
+    # Broadcast / reduce
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def full(self, length: int, value, dtype) -> np.ndarray:
+        """``value`` broadcast to every one of ``length`` cells."""
+
+    @abstractmethod
+    def reduce(self, values: np.ndarray, op: str):
+        """All elements combined to one scalar; ``op`` is ``"sum"``,
+        ``"max"``, ``"min"``, ``"any"`` or ``"all"``.  ``values`` is
+        non-empty (callers special-case the empty reduction's identity)."""
+
+    # ------------------------------------------------------------------ #
+    # Segmented operations (Section 2.3 / 3.4)
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def segment_ids(self, seg_flags: np.ndarray) -> np.ndarray:
+        """0-based segment number of each element (int64)."""
+
+    @abstractmethod
+    def seg_plus_scan(self, values: np.ndarray,
+                      seg_flags: np.ndarray) -> np.ndarray:
+        """Exclusive ``+-scan`` restarting at every segment head."""
+
+    @abstractmethod
+    def seg_extreme_scan(self, values: np.ndarray, seg_flags: np.ndarray,
+                         identity, *, is_max: bool) -> np.ndarray:
+        """Exclusive per-segment running max (or min); segment heads
+        receive ``identity``."""
+
+    @abstractmethod
+    def seg_copy(self, values: np.ndarray,
+                 seg_flags: np.ndarray) -> np.ndarray:
+        """Each segment's first element copied across its segment."""
+
+    @abstractmethod
+    def seg_back_copy(self, values: np.ndarray,
+                      seg_flags: np.ndarray) -> np.ndarray:
+        """Each segment's last element copied across its segment."""
+
+    @abstractmethod
+    def seg_distribute(self, values: np.ndarray, seg_flags: np.ndarray,
+                       op: str) -> np.ndarray:
+        """Per-segment reduction delivered to every element of the
+        segment; ``op`` is ``"sum"``, ``"max"``, ``"min"``, ``"or"`` or
+        ``"and"``."""

@@ -1,0 +1,199 @@
+"""The default backend: one vectorized NumPy expression per primitive.
+
+This is the execution substrate the repository has always used, factored
+out of :mod:`repro.core` verbatim — results and (since backends charge
+nothing) step counts are bit-identical to the pre-backend code.
+"""
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .base import Backend
+
+__all__ = ["NumPyBackend"]
+
+
+def _seg_ids(sf: np.ndarray) -> np.ndarray:
+    """0-based segment number of each element (inclusive +-scan of flags, -1)."""
+    return np.cumsum(sf) - 1
+
+
+def _seg_running_extreme(v: np.ndarray, sf: np.ndarray, identity, *,
+                         is_max: bool) -> np.ndarray:
+    """Exclusive per-segment running max (or min) via the Figure 16 method:
+    encode (segment, rank-of-value), take one unsegmented running max,
+    decode.  Works for any comparable dtype because ranks, not raw bits,
+    carry the value."""
+    n = len(v)
+    if n == 0:
+        return v.copy()
+    order = np.argsort(v, kind="stable")
+    if not is_max:
+        order = order[::-1]  # higher rank now means smaller value
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = np.arange(n)
+    s = _seg_ids(sf)
+    code = s * n + rank
+    run = np.empty(n, dtype=np.int64)
+    run[0] = -1
+    np.maximum.accumulate(code[:-1], out=run[1:])
+    valid = (run >= 0) & (run // n == s)
+    decoded_pos = order[np.clip(run % n, 0, n - 1)]
+    out = np.where(valid, v[decoded_pos], np.asarray(identity, dtype=v.dtype))
+    return out.astype(v.dtype, copy=False)
+
+
+_REDUCERS = {"sum": np.sum, "max": np.max, "min": np.min,
+             "any": np.any, "all": np.all}
+
+_SEG_REDUCERS = {"sum": np.add, "max": np.maximum, "min": np.minimum,
+                 "or": np.logical_or, "and": np.logical_and}
+
+
+class NumPyBackend(Backend):
+    """Whole-vector execution; every primitive is one NumPy expression."""
+
+    name = "numpy"
+
+    # -------------------------- elementwise --------------------------- #
+
+    def elementwise(self, fn: Callable, *operands) -> np.ndarray:
+        return fn(*operands)
+
+    def adjacent_ne(self, values: np.ndarray) -> np.ndarray:
+        changed = np.empty(len(values), dtype=bool)
+        if len(values):
+            changed[0] = True
+            changed[1:] = values[1:] != values[:-1]
+        return changed
+
+    # ----------------------------- scans ------------------------------ #
+
+    def plus_scan(self, values: np.ndarray) -> np.ndarray:
+        out = np.empty_like(values)
+        if len(values):
+            out[0] = 0
+            np.cumsum(values[:-1], out=out[1:])
+        return out
+
+    def max_scan(self, values: np.ndarray, identity) -> np.ndarray:
+        out = np.empty_like(values)
+        if len(values):
+            out[0] = identity
+            np.maximum.accumulate(values[:-1], out=out[1:])
+            np.maximum(out[1:], identity, out=out[1:])
+        return out
+
+    # ------------------------- communication -------------------------- #
+
+    def permute(self, values: np.ndarray, index: np.ndarray, length: int,
+                default) -> np.ndarray:
+        out = np.full(length, default, dtype=values.dtype)
+        out[index] = values
+        return out
+
+    def gather(self, values: np.ndarray, index: np.ndarray) -> np.ndarray:
+        return values[index]
+
+    def combine_write(self, values: np.ndarray, index: np.ndarray,
+                      length: int, op: str, default) -> np.ndarray:
+        out = np.full(length, default, dtype=values.dtype)
+        if op == "min":
+            # initialize to +inf-like, reduce, restore default where untouched
+            touched = np.zeros(length, dtype=bool)
+            touched[index] = True
+            hi = (np.iinfo(values.dtype).max
+                  if np.issubdtype(values.dtype, np.integer) else np.inf)
+            tmp = np.full(length, hi, dtype=values.dtype)
+            np.minimum.at(tmp, index, values)
+            out = np.where(touched, tmp, np.asarray(default, dtype=values.dtype))
+        elif op == "max":
+            touched = np.zeros(length, dtype=bool)
+            touched[index] = True
+            lo = (np.iinfo(values.dtype).min
+                  if np.issubdtype(values.dtype, np.integer) else -np.inf)
+            tmp = np.full(length, lo, dtype=values.dtype)
+            np.maximum.at(tmp, index, values)
+            out = np.where(touched, tmp, np.asarray(default, dtype=values.dtype))
+        elif op == "sum":
+            tmp = np.zeros(length, dtype=values.dtype)
+            np.add.at(tmp, index, values)
+            out = tmp
+        elif op == "any":
+            out[index] = values  # last writer wins: an arbitrary-winner write
+        else:
+            raise ValueError(f"unknown combine op {op!r}")
+        return out
+
+    def pack(self, values: np.ndarray, flags: np.ndarray,
+             index: np.ndarray, count: int) -> np.ndarray:
+        out = np.empty(count, dtype=values.dtype)
+        out[index[flags]] = values[flags]
+        return out
+
+    def shift(self, values: np.ndarray, k: int, fill) -> np.ndarray:
+        n = len(values)
+        out = np.full(n, fill, dtype=values.dtype)
+        if k >= 0:
+            if k < n:
+                out[k:] = values[: n - k]
+        else:
+            if -k < n:
+                out[: n + k] = values[-k:]
+        return out
+
+    def reverse(self, values: np.ndarray) -> np.ndarray:
+        return values[::-1]
+
+    # ------------------------ broadcast / reduce ----------------------- #
+
+    def full(self, length: int, value, dtype) -> np.ndarray:
+        return np.full(length, value, dtype=dtype)
+
+    def reduce(self, values: np.ndarray, op: str):
+        return _REDUCERS[op](values)
+
+    # ---------------------------- segmented ---------------------------- #
+
+    def segment_ids(self, seg_flags: np.ndarray) -> np.ndarray:
+        return _seg_ids(seg_flags).astype(np.int64)
+
+    def seg_plus_scan(self, values: np.ndarray,
+                      seg_flags: np.ndarray) -> np.ndarray:
+        ex = np.concatenate(([0], np.cumsum(values)[:-1])).astype(values.dtype)
+        if len(values) == 0:
+            return ex
+        s = _seg_ids(seg_flags)
+        head_offsets = ex[np.flatnonzero(seg_flags)]
+        return ex - head_offsets[s]
+
+    def seg_extreme_scan(self, values: np.ndarray, seg_flags: np.ndarray,
+                         identity, *, is_max: bool) -> np.ndarray:
+        return _seg_running_extreme(values, seg_flags, identity, is_max=is_max)
+
+    def seg_copy(self, values: np.ndarray,
+                 seg_flags: np.ndarray) -> np.ndarray:
+        if len(values) == 0:
+            return values.copy()
+        s = _seg_ids(seg_flags)
+        return values[np.flatnonzero(seg_flags)][s]
+
+    def seg_back_copy(self, values: np.ndarray,
+                      seg_flags: np.ndarray) -> np.ndarray:
+        if len(values) == 0:
+            return values.copy()
+        s = _seg_ids(seg_flags)
+        heads = np.flatnonzero(seg_flags)
+        tails = np.append(heads[1:], len(values)) - 1
+        return values[tails][s]
+
+    def seg_distribute(self, values: np.ndarray, seg_flags: np.ndarray,
+                       op: str) -> np.ndarray:
+        if len(values) == 0:
+            return values.copy()
+        heads = np.flatnonzero(seg_flags)
+        s = _seg_ids(seg_flags)
+        per_segment = _SEG_REDUCERS[op].reduceat(values, heads)
+        return per_segment[s].astype(values.dtype, copy=False)

@@ -8,6 +8,7 @@
     python -m repro table5              # processor-step complexity
     python -m repro figure9             # the line-drawing figure (ASCII)
     python -m repro demo                # a quick primitive tour
+    python -m repro backends            # execution backends + self-check
 
 The heavyweight regeneration (wall-clock timing included) lives in
 ``pytest benchmarks/ --benchmark-only``; this CLI prints the step/cycle
@@ -189,6 +190,42 @@ def _faults(args) -> None:
           f"scan_degraded steps = {snap.by_kind.get('scan_degraded', 0)}")
 
 
+def _backends(args) -> None:
+    from . import Machine
+    from .backends import available_backends, get_backend
+    from .core import scans
+    from .core.simulate import sim_verify_max_scan, sim_verify_plus_scan
+
+    data = [2, 1, 2, 3, 5, 8, 13, 21]
+    print("execution backends (select with Machine(backend=...) or "
+          "REPRO_BACKEND):")
+    for name in available_backends():
+        m = Machine("scan", backend=name)
+        v = m.vector(data)
+        plus = scans.plus_scan(v)
+        mx = scans.max_scan(v, identity=0)
+        # cross-verify against the independent Section 3.4 constructions
+        ok = (sim_verify_plus_scan(v, plus)
+              and sim_verify_max_scan(v, mx, identity=0))
+        marker = " (default)" if name == "numpy" else ""
+        print(f"  {name:<10} {get_backend(name).__class__.__name__:<18} "
+              f"self-check {'ok' if ok else 'FAILED'}  "
+              f"+-scan{data} = {plus.to_list()}{marker}")
+        if not ok:
+            raise SystemExit(f"backend {name!r} failed its self-check")
+    # the blocked backend's chunk size is selectable: run one scan whose
+    # vector spans many chunks so the carry path is exercised
+    m = Machine("scan", backend="blocked:4")
+    v = m.vector(data)
+    out = scans.plus_scan(v)
+    ok = sim_verify_plus_scan(v, out)
+    print(f"  blocked:4  chunked carry demo   self-check "
+          f"{'ok' if ok else 'FAILED'}  ({len(data)} elements in "
+          f"{-(-len(data) // 4)} chunks)")
+    if not ok:
+        raise SystemExit("blocked:4 failed its self-check")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -218,6 +255,10 @@ def main(argv: list[str] | None = None) -> int:
 
     pd = sub.add_parser("demo", help="a 10-second primitive tour")
     pd.set_defaults(func=_demo)
+
+    pb = sub.add_parser("backends",
+                        help="list execution backends and self-check each")
+    pb.set_defaults(func=_backends)
 
     pf = sub.add_parser("faults",
                         help="fault injection: detect / mask / degrade")

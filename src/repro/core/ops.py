@@ -38,7 +38,7 @@ def concat(a: Vector, b: Vector) -> Vector:
         raise ValueError("vectors live on different machines")
     dtype = np.result_type(a.dtype, b.dtype) if len(a) and len(b) else (
         a.dtype if len(a) else b.dtype)
-    return Vector(a.machine, np.concatenate(
+    return Vector._adopt(a.machine, np.concatenate(
         (a.data.astype(dtype, copy=False), b.data.astype(dtype, copy=False))))
 
 
@@ -67,10 +67,11 @@ def copy_(v: Vector) -> Vector:
     Implemented with one broadcast-shaped step (the paper implements it by
     scanning a vector holding the identity everywhere but position 0).
     """
-    v.machine.charge_broadcast(len(v))
+    m = v.machine
+    m.charge_broadcast(len(v))
     if len(v) == 0:
-        return Vector(v.machine, v.data.copy())
-    return Vector(v.machine, np.full(len(v), v.data[0], dtype=v.dtype))
+        return Vector._adopt(m, v.data.copy())
+    return Vector._adopt(m, m.execute("full", len(v), v.data[0], v.dtype))
 
 
 def split(v: Vector, flags: Vector) -> Vector:
@@ -123,12 +124,11 @@ def pack(v: Vector, flags: Vector) -> Vector:
         raise TypeError("pack flags must be boolean")
     idx, m = pack_index(flags)
     if m == 0:
-        return Vector(v.machine, np.empty(0, dtype=v.dtype))
+        return Vector._adopt(v.machine, np.empty(0, dtype=v.dtype))
     # Only flagged processors write; the permute is still one step.
     v.machine.charge_permute(len(v))
-    out = np.empty(m, dtype=v.dtype)
-    out[idx.data[flags.data]] = v.data[flags.data]
-    return Vector(v.machine, out)
+    out = v.machine.execute("pack", v.data, flags.data, idx.data, m)
+    return Vector._adopt(v.machine, out)
 
 
 def allocate(machine: Machine, counts: Vector) -> tuple[Vector, Vector]:
@@ -147,10 +147,10 @@ def allocate(machine: Machine, counts: Vector) -> tuple[Vector, Vector]:
     hpointers = scans.plus_scan(counts)
     total = scans.plus_reduce(counts)
     machine.charge_permute(max(total, 1))  # permute a flag to each head
-    flags = np.zeros(total, dtype=bool)
-    nonempty = c > 0
-    flags[hpointers.data[nonempty]] = True
-    return Vector(machine, flags), hpointers
+    heads = hpointers.data[c > 0]
+    flags = machine.execute("permute", np.ones(len(heads), dtype=bool),
+                            heads, total, False)
+    return Vector._adopt(machine, flags), hpointers
 
 
 def distribute_to_segments(values: Vector, counts: Vector) -> tuple[Vector, Vector]:
@@ -166,9 +166,10 @@ def distribute_to_segments(values: Vector, counts: Vector) -> tuple[Vector, Vect
     total = len(seg_flags)
     nonempty = counts.data > 0
     m.charge_permute(max(total, 1))  # permute each value to its segment head
-    at_heads = np.zeros(total, dtype=values.dtype)
-    at_heads[hpointers.data[nonempty]] = values.data[nonempty]
-    head_vec = Vector(m, at_heads)
+    at_heads = m.execute("permute", values.data[nonempty],
+                         hpointers.data[nonempty], total,
+                         values.dtype.type(0))
+    head_vec = Vector._adopt(m, at_heads)
     if total == 0:
         return head_vec, seg_flags
     return segmented.seg_copy(head_vec, seg_flags), seg_flags

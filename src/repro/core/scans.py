@@ -104,14 +104,8 @@ def plus_scan(v: Vector) -> Vector:
     data = v.data
     if data.dtype == np.bool_:
         data = data.astype(np.int64)
-    out = np.empty_like(data)
-    if len(data):
-        out[0] = 0
-        np.cumsum(data[:-1], out=out[1:])
-    inj = v.machine.fault_injector
-    if inj is not None:
-        out = inj.corrupt_primitive("scan", out)
-    return Vector(v.machine, out)
+    out = v.machine.execute("plus_scan", data, inject="scan")
+    return Vector._adopt(v.machine, out)
 
 
 def max_scan(v: Vector, identity=None) -> Vector:
@@ -129,15 +123,8 @@ def max_scan(v: Vector, identity=None) -> Vector:
     data = v.data
     if identity is None:
         identity = max_identity(data.dtype)
-    out = np.empty_like(data)
-    if len(data):
-        out[0] = identity
-        np.maximum.accumulate(data[:-1], out=out[1:])
-        np.maximum(out[1:], identity, out=out[1:])
-    inj = v.machine.fault_injector
-    if inj is not None:
-        out = inj.corrupt_primitive("scan", out)
-    return Vector(v.machine, out)
+    out = v.machine.execute("max_scan", data, identity, inject="scan")
+    return Vector._adopt(v.machine, out)
 
 
 # --------------------------------------------------------------------- #
@@ -203,70 +190,71 @@ def back_and_scan(v: Vector) -> Vector:
 # Reductions (all elements -> one value)
 # --------------------------------------------------------------------- #
 
-def _reduce(v: Vector, np_fn, empty):
+def _reduce(v: Vector, op: str, empty):
     v.machine.charge_reduce(len(v))
     if len(v) == 0:
         return empty
-    return np_fn(v.data).item()
+    return v.machine.execute("reduce", v.data, op).item()
 
 
 def plus_reduce(v: Vector):
     """Sum of all elements (one reduce step)."""
-    return _reduce(v, np.sum, 0)
+    return _reduce(v, "sum", 0)
 
 
 def max_reduce(v: Vector):
     """Maximum of all elements (one reduce step)."""
-    return _reduce(v, np.max, max_identity(v.dtype))
+    return _reduce(v, "max", max_identity(v.dtype))
 
 
 def min_reduce(v: Vector):
     """Minimum of all elements (one reduce step)."""
-    return _reduce(v, np.min, min_identity(v.dtype))
+    return _reduce(v, "min", min_identity(v.dtype))
 
 
 def or_reduce(v: Vector) -> bool:
-    return bool(_reduce(v, np.any, False))
+    return bool(_reduce(v, "any", False))
 
 
 def and_reduce(v: Vector) -> bool:
-    return bool(_reduce(v, np.all, True))
+    return bool(_reduce(v, "all", True))
 
 
 # --------------------------------------------------------------------- #
 # Distributes (Section 2.2): every element receives the reduction
 # --------------------------------------------------------------------- #
 
-def _distribute(v: Vector, np_fn, empty) -> Vector:
+def _distribute(v: Vector, op: str) -> Vector:
     """Reduce then broadcast — the paper implements ``+-distribute`` as a
     ``+-scan`` followed by a backward copy, which is one reduce-shaped step
     plus one broadcast-shaped step on every model."""
     v.machine.charge_reduce(len(v))
     v.machine.charge_broadcast(len(v))
     if len(v) == 0:
-        return Vector(v.machine, np.empty(0, dtype=v.dtype))
-    total = np_fn(v.data)
-    return Vector(v.machine, np.full(len(v), total, dtype=v.dtype))
+        return Vector._adopt(v.machine, np.empty(0, dtype=v.dtype))
+    total = v.machine.execute("reduce", v.data, op)
+    return Vector._adopt(v.machine,
+                         v.machine.execute("full", len(v), total, v.dtype))
 
 
 def plus_distribute(v: Vector) -> Vector:
     """Every element receives the sum of all elements (Figure 1)."""
-    return _distribute(v, np.sum, 0)
+    return _distribute(v, "sum")
 
 
 def max_distribute(v: Vector) -> Vector:
     """Every element receives the maximum of all elements."""
-    return _distribute(v, np.max, None)
+    return _distribute(v, "max")
 
 
 def min_distribute(v: Vector) -> Vector:
     """Every element receives the minimum of all elements."""
-    return _distribute(v, np.min, None)
+    return _distribute(v, "min")
 
 
 def or_distribute(v: Vector) -> Vector:
-    return _distribute(v, np.any, None)
+    return _distribute(v, "any")
 
 
 def and_distribute(v: Vector) -> Vector:
-    return _distribute(v, np.all, None)
+    return _distribute(v, "all")

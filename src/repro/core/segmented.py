@@ -13,7 +13,9 @@ segmented ``+-scan`` subtracts a copied segment-head offset from an
 unsegmented ``+-scan``.  The functions in this module compute results with
 vectorized NumPy using exactly that construction (with the bit-append
 replaced by a rank encoding so arbitrary signed/float values cannot
-overflow), and charge the machine the construction's primitive cost.
+overflow), dispatched through the machine's execution backend
+(:meth:`repro.machine.Machine.execute`), and charge the machine the
+construction's primitive cost.
 The bit-literal constructions are in :mod:`repro.core.simulate` and are
 tested to agree element-for-element.
 """
@@ -108,15 +110,11 @@ def _charge_copy(machine: Machine, n: int) -> None:
         _charge(machine, n, n_scans=2, n_ew=3)
 
 
-def _seg_ids(sf: np.ndarray) -> np.ndarray:
-    """0-based segment number of each element (inclusive +-scan of flags, -1)."""
-    return np.cumsum(sf) - 1
-
-
 def segment_ids(seg_flags: Vector) -> Vector:
     """The segment number of each element (one scan + one elementwise step)."""
-    _charge(seg_flags.machine, len(seg_flags), n_scans=1, n_ew=1)
-    return Vector(seg_flags.machine, _seg_ids(seg_flags.data).astype(np.int64))
+    m = seg_flags.machine
+    _charge(m, len(seg_flags), n_scans=1, n_ew=1)
+    return Vector._adopt(m, m.execute("segment_ids", seg_flags.data))
 
 
 def segment_heads(seg_flags: Vector) -> np.ndarray:
@@ -143,10 +141,10 @@ def flags_from_lengths(machine: Machine, lengths) -> Vector:
     total = int(lengths.sum())
     machine.charge_scan(max(len(lengths), 1))
     machine.charge_permute(max(total, 1))
-    flags = np.zeros(total, dtype=bool)
-    heads = np.cumsum(lengths) - lengths
-    flags[heads[lengths > 0]] = True
-    return Vector(machine, flags)
+    heads = (np.cumsum(lengths) - lengths)[lengths > 0]
+    flags = machine.execute("permute", np.ones(len(heads), dtype=bool),
+                            heads, total, False)
+    return Vector._adopt(machine, flags)
 
 
 # --------------------------------------------------------------------- #
@@ -161,40 +159,12 @@ def seg_plus_scan(values: Vector, seg_flags: Vector) -> Vector:
     scans (the copy is itself a segmented max-scan) plus elementwise steps.
     """
     check_segment_flags(values, seg_flags)
-    _charge(values.machine, len(values), n_scans=3, n_ew=4)
-    v, sf = values.data, seg_flags.data
-    out_dtype = np.int64 if v.dtype == np.bool_ else v.dtype
-    v = v.astype(out_dtype, copy=False)
-    ex = np.concatenate(([0], np.cumsum(v)[:-1])).astype(out_dtype)
-    if len(v) == 0:
-        return Vector(values.machine, ex)
-    s = _seg_ids(sf)
-    head_offsets = ex[np.flatnonzero(sf)]
-    return Vector(values.machine, ex - head_offsets[s])
-
-
-def _seg_running_extreme(v: np.ndarray, sf: np.ndarray, identity, *, is_max: bool) -> np.ndarray:
-    """Exclusive per-segment running max (or min) via the Figure 16 method:
-    encode (segment, rank-of-value), take one unsegmented running max,
-    decode.  Works for any comparable dtype because ranks, not raw bits,
-    carry the value."""
-    n = len(v)
-    if n == 0:
-        return v.copy()
-    order = np.argsort(v, kind="stable")
-    if not is_max:
-        order = order[::-1]  # higher rank now means smaller value
-    rank = np.empty(n, dtype=np.int64)
-    rank[order] = np.arange(n)
-    s = _seg_ids(sf)
-    code = s * n + rank
-    run = np.empty(n, dtype=np.int64)
-    run[0] = -1
-    np.maximum.accumulate(code[:-1], out=run[1:])
-    valid = (run >= 0) & (run // n == s)
-    decoded_pos = order[np.clip(run % n, 0, n - 1)]
-    out = np.where(valid, v[decoded_pos], np.asarray(identity, dtype=v.dtype))
-    return out.astype(v.dtype, copy=False)
+    m = values.machine
+    _charge(m, len(values), n_scans=3, n_ew=4)
+    v = values.data
+    if v.dtype == np.bool_:
+        v = v.astype(np.int64)
+    return Vector._adopt(m, m.execute("seg_plus_scan", v, seg_flags.data))
 
 
 def seg_max_scan(values: Vector, seg_flags: Vector, identity=None) -> Vector:
@@ -205,21 +175,25 @@ def seg_max_scan(values: Vector, seg_flags: Vector, identity=None) -> Vector:
     extract elementwise steps.
     """
     check_segment_flags(values, seg_flags)
-    _charge(values.machine, len(values), n_scans=2, n_ew=3)
+    m = values.machine
+    _charge(m, len(values), n_scans=2, n_ew=3)
     if identity is None:
         identity = scans.max_identity(values.dtype)
-    out = _seg_running_extreme(values.data, seg_flags.data, identity, is_max=True)
-    return Vector(values.machine, out)
+    out = m.execute("seg_extreme_scan", values.data, seg_flags.data,
+                    identity, is_max=True)
+    return Vector._adopt(m, out)
 
 
 def seg_min_scan(values: Vector, seg_flags: Vector, identity=None) -> Vector:
     """Segmented exclusive ``min-scan`` (inverted segmented ``max-scan``)."""
     check_segment_flags(values, seg_flags)
-    _charge(values.machine, len(values), n_scans=2, n_ew=5)
+    m = values.machine
+    _charge(m, len(values), n_scans=2, n_ew=5)
     if identity is None:
         identity = scans.min_identity(values.dtype)
-    out = _seg_running_extreme(values.data, seg_flags.data, identity, is_max=False)
-    return Vector(values.machine, out)
+    out = m.execute("seg_extreme_scan", values.data, seg_flags.data,
+                    identity, is_max=False)
+    return Vector._adopt(m, out)
 
 
 def seg_or_scan(values: Vector, seg_flags: Vector) -> Vector:
@@ -255,11 +229,11 @@ def seg_back_plus_scan(values: Vector, seg_flags: Vector) -> Vector:
     check_segment_flags(values, seg_flags)
     m = values.machine
     m.charge_permute(len(values))
-    rsf = Vector(m, _reverse_segment_flags(seg_flags.data))
-    rv = Vector(m, values.data[::-1])
+    rsf = Vector._adopt(m, _reverse_segment_flags(seg_flags.data))
+    rv = Vector._adopt(m, m.execute("reverse", values.data))
     out = seg_plus_scan(rv, rsf)
     m.charge_permute(len(values))
-    return Vector(m, out.data[::-1])
+    return Vector._adopt(m, m.execute("reverse", out.data))
 
 
 def seg_back_max_scan(values: Vector, seg_flags: Vector, identity=None) -> Vector:
@@ -267,11 +241,11 @@ def seg_back_max_scan(values: Vector, seg_flags: Vector, identity=None) -> Vecto
     check_segment_flags(values, seg_flags)
     m = values.machine
     m.charge_permute(len(values))
-    rsf = Vector(m, _reverse_segment_flags(seg_flags.data))
-    rv = Vector(m, values.data[::-1])
+    rsf = Vector._adopt(m, _reverse_segment_flags(seg_flags.data))
+    rv = Vector._adopt(m, m.execute("reverse", values.data))
     out = seg_max_scan(rv, rsf, identity=identity)
     m.charge_permute(len(values))
-    return Vector(m, out.data[::-1])
+    return Vector._adopt(m, m.execute("reverse", out.data))
 
 
 def seg_back_min_scan(values: Vector, seg_flags: Vector, identity=None) -> Vector:
@@ -279,11 +253,11 @@ def seg_back_min_scan(values: Vector, seg_flags: Vector, identity=None) -> Vecto
     check_segment_flags(values, seg_flags)
     m = values.machine
     m.charge_permute(len(values))
-    rsf = Vector(m, _reverse_segment_flags(seg_flags.data))
-    rv = Vector(m, values.data[::-1])
+    rsf = Vector._adopt(m, _reverse_segment_flags(seg_flags.data))
+    rv = Vector._adopt(m, m.execute("reverse", values.data))
     out = seg_min_scan(rv, rsf, identity=identity)
     m.charge_permute(len(values))
-    return Vector(m, out.data[::-1])
+    return Vector._adopt(m, m.execute("reverse", out.data))
 
 
 # --------------------------------------------------------------------- #
@@ -294,26 +268,19 @@ def seg_copy(values: Vector, seg_flags: Vector) -> Vector:
     """Copy each segment's first element across its segment (the segmented
     ``copy`` of Section 2.3.1, built on a segmented ``max-scan``)."""
     check_segment_flags(values, seg_flags)
-    _charge_copy(values.machine, len(values))
-    v, sf = values.data, seg_flags.data
-    if len(v) == 0:
-        return Vector(values.machine, v.copy())
-    s = _seg_ids(sf)
-    return Vector(values.machine, v[np.flatnonzero(sf)][s])
+    m = values.machine
+    _charge_copy(m, len(values))
+    return Vector._adopt(m, m.execute("seg_copy", values.data, seg_flags.data))
 
 
 def seg_back_copy(values: Vector, seg_flags: Vector) -> Vector:
     """Copy each segment's *last* element across its segment (a backward
     segmented copy, as used by ``+-distribute``)."""
     check_segment_flags(values, seg_flags)
-    _charge_copy(values.machine, len(values))
-    v, sf = values.data, seg_flags.data
-    if len(v) == 0:
-        return Vector(values.machine, v.copy())
-    s = _seg_ids(sf)
-    heads = np.flatnonzero(sf)
-    tails = np.append(heads[1:], len(v)) - 1
-    return Vector(values.machine, v[tails][s])
+    m = values.machine
+    _charge_copy(m, len(values))
+    return Vector._adopt(m, m.execute("seg_back_copy", values.data,
+                                      seg_flags.data))
 
 
 def seg_enumerate(flags: Vector, seg_flags: Vector) -> Vector:
@@ -325,49 +292,46 @@ def seg_enumerate(flags: Vector, seg_flags: Vector) -> Vector:
 def seg_index(seg_flags: Vector) -> Vector:
     """Each element's offset within its segment (a segmented ``+-scan`` of
     all ones)."""
-    ones = Vector(seg_flags.machine, np.ones(len(seg_flags), dtype=np.int64))
+    ones = Vector._adopt(seg_flags.machine,
+                         np.ones(len(seg_flags), dtype=np.int64))
     seg_flags.machine.charge_elementwise(len(seg_flags))
     return seg_plus_scan(ones, seg_flags)
 
 
-def _seg_distribute(values: Vector, seg_flags: Vector, reduceat_fn) -> Vector:
+def _seg_distribute(values: Vector, seg_flags: Vector, op: str) -> Vector:
     """Per-segment reduction distributed to every element of the segment:
     one segmented scan + one segmented copy worth of steps."""
     check_segment_flags(values, seg_flags)
-    _charge_distribute(values.machine, len(values))
-    v, sf = values.data, seg_flags.data
-    if len(v) == 0:
-        return Vector(values.machine, v.copy())
-    heads = np.flatnonzero(sf)
-    s = _seg_ids(sf)
-    per_segment = reduceat_fn(v, heads)
-    return Vector(values.machine, per_segment[s].astype(v.dtype, copy=False))
+    m = values.machine
+    _charge_distribute(m, len(values))
+    out = m.execute("seg_distribute", values.data, seg_flags.data, op)
+    return Vector._adopt(m, out)
 
 
 def seg_plus_distribute(values: Vector, seg_flags: Vector) -> Vector:
     """Every element receives the sum of its segment."""
-    return _seg_distribute(values, seg_flags, np.add.reduceat)
+    return _seg_distribute(values, seg_flags, "sum")
 
 
 def seg_max_distribute(values: Vector, seg_flags: Vector) -> Vector:
     """Every element receives the maximum of its segment."""
-    return _seg_distribute(values, seg_flags, np.maximum.reduceat)
+    return _seg_distribute(values, seg_flags, "max")
 
 
 def seg_min_distribute(values: Vector, seg_flags: Vector) -> Vector:
     """Every element receives the minimum of its segment (used by the MST's
     ``min-distribute`` over edge weights)."""
-    return _seg_distribute(values, seg_flags, np.minimum.reduceat)
+    return _seg_distribute(values, seg_flags, "min")
 
 
 def seg_or_distribute(values: Vector, seg_flags: Vector) -> Vector:
-    return _seg_distribute(values, seg_flags, np.logical_or.reduceat)
+    return _seg_distribute(values, seg_flags, "or")
 
 
 def seg_and_distribute(values: Vector, seg_flags: Vector) -> Vector:
     """Every element receives the AND of its segment (used by quicksort's
     sortedness check)."""
-    return _seg_distribute(values, seg_flags, np.logical_and.reduceat)
+    return _seg_distribute(values, seg_flags, "and")
 
 
 # --------------------------------------------------------------------- #
@@ -391,7 +355,8 @@ def seg_split(values: Vector, flags: Vector, seg_flags: Vector) -> Vector:
     i_up = n_false + i_up_rank
     local = flags.where(i_up, i_down)
     # global offset of each segment start
-    head_pos = seg_copy(Vector(m, np.arange(len(values), dtype=np.int64)), seg_flags)
+    head_pos = seg_copy(Vector._adopt(m, np.arange(len(values), dtype=np.int64)),
+                        seg_flags)
     index = local + head_pos
     return values.permute(index)
 
@@ -413,7 +378,8 @@ def seg_split3(values: Vector, lesser: Vector, equal: Vector, seg_flags: Vector)
     i_eq = seg_enumerate(equal, seg_flags) + n_less
     i_gt = seg_enumerate(greater, seg_flags) + n_less + n_eq
     local = lesser.where(i_less, equal.where(i_eq, i_gt))
-    head_pos = seg_copy(Vector(m, np.arange(len(values), dtype=np.int64)), seg_flags)
+    head_pos = seg_copy(Vector._adopt(m, np.arange(len(values), dtype=np.int64)),
+                        seg_flags)
     return values.permute(local + head_pos)
 
 
@@ -426,9 +392,6 @@ def seg_flag_from_neighbor_change(values: Vector, seg_flags: Vector) -> Vector:
     m = values.machine
     m.charge_permute(len(values))  # shift by one: a send to the right neighbor
     m.charge_elementwise(len(values))
-    v, sf = values.data, seg_flags.data
-    changed = np.empty(len(v), dtype=bool)
-    if len(v):
-        changed[0] = True
-        changed[1:] = v[1:] != v[:-1]
-    return Vector(m, changed | sf)
+    changed = m.execute("adjacent_ne", values.data)
+    out = m.execute("elementwise", np.logical_or, changed, seg_flags.data)
+    return Vector._adopt(m, out)

@@ -116,7 +116,8 @@ def sim_seg_max_scan(v: Vector, seg_flags: Vector, *, bits: int) -> Vector:
     seg_number = sf_int + scans.plus_scan(sf_int)
     appended = (seg_number << bits) | v.astype(np.int64)
     scanned = scans.max_scan(appended, identity=0)
-    bottom = scanned & Vector(v.machine, np.full(len(v), (1 << bits) - 1, dtype=np.int64))
+    bottom = scanned & Vector._adopt(
+        v.machine, np.full(len(v), (1 << bits) - 1, dtype=np.int64))
     return seg_flags.where(0, bottom).astype(v.dtype)
 
 
@@ -173,10 +174,10 @@ def sim_float_max_scan(v: Vector) -> Vector:
     m = v.machine
     raw = v.data.astype(np.float64).view(np.int64)
     m.charge_elementwise(len(v))  # the flip
-    flipped = Vector(m, _float_flip(raw))
+    flipped = Vector._adopt(m, m.execute("elementwise", _float_flip, raw))
     scanned = scans.max_scan(flipped)
     m.charge_elementwise(len(v))  # the flip back
-    out_bits = _float_flip(scanned.data)
+    out_bits = m.execute("elementwise", _float_flip, scanned.data)
     out = out_bits.view(np.float64).copy()
     if len(out):
         out[0] = -np.inf  # the identity of float max
@@ -220,12 +221,15 @@ def sim_verify_plus_scan(v: Vector, out: Vector) -> bool:
     back = sim_back_plus_scan(v)
     total = scans.plus_reduce(v)
     m.charge_elementwise(n)  # out + back + v
-    resid = out.data + back.data + v.data
+    resid = m.execute("elementwise", lambda a, b, c: a + b + c,
+                      out.data, back.data, v.data)
     m.charge_elementwise(n)  # compare against the distributed total
     if np.issubdtype(resid.dtype, np.floating):
-        match = np.isclose(resid, total, rtol=1e-9, atol=0.0)
+        match = m.execute("elementwise",
+                          lambda r: np.isclose(r, total, rtol=1e-9, atol=0.0),
+                          resid)
     else:
-        match = resid == total
+        match = m.execute("elementwise", np.equal, resid, total)
     m.charge_reduce(n)       # and-reduce of the per-element verdicts
     return bool(match.all())
 
@@ -252,5 +256,6 @@ def sim_verify_max_scan(v: Vector, out: Vector, identity=None) -> bool:
     inc = out.maximum(v)                    # inclusive scan candidate
     expected = inc.shift(1, fill=identity)  # expected[0] = identity
     m.charge_elementwise(n)                 # compare
+    match = m.execute("elementwise", np.equal, out.data, expected.data)
     m.charge_reduce(n)                      # and-reduce of the verdicts
-    return bool((out.data == expected.data).all())
+    return bool(match.all())

@@ -3,9 +3,10 @@
 All algorithm data lives in vectors (one-dimensional arrays) in the shared
 memory, with one (virtual) processor per element (Section 2.1).  A
 :class:`Vector` couples a NumPy array to the :class:`~repro.machine.Machine`
-it lives on; every operation both *computes* the result (vectorized NumPy)
-and *charges* the machine the program steps the operation would cost on that
-model.
+it lives on; every operation *charges* the machine the program steps the
+operation would cost on that model and *computes* the result through the
+machine's execution backend (:mod:`repro.backends`) via the single
+dispatch point :meth:`repro.machine.Machine.execute`.
 
 Vectors are immutable: operations return new vectors, and the underlying
 buffer is marked read-only, so accidental aliasing cannot corrupt step
@@ -32,8 +33,11 @@ class Vector:
     machine:
         The machine charged for operations on this vector.
     data:
-        Any 1-D array-like.  The array is copied (or made read-only in
-        place when already owned) so the vector is immutable.
+        Any 1-D array-like.  The public constructor always copies, so a
+        caller's array can never be aliased by an immutable vector.
+        Arrays freshly produced by an execution backend are adopted
+        in place — no copy — through the internal :meth:`_adopt` path,
+        which every primitive uses for its result.
     """
 
     __slots__ = ("machine", "_data")
@@ -45,6 +49,20 @@ class Vector:
         arr.setflags(write=False)
         self.machine = machine
         self._data = arr
+
+    @classmethod
+    def _adopt(cls, machine: Machine, arr: np.ndarray) -> "Vector":
+        """Internal no-copy constructor: wrap an array the caller owns —
+        one freshly allocated by a backend, or a view of an already
+        immutable buffer — saving one allocation per primitive.  Never
+        pass an array someone else may still write through."""
+        if arr.ndim != 1:
+            raise ValueError(f"Vector must be 1-D, got shape {arr.shape}")
+        arr.setflags(write=False)
+        self = object.__new__(cls)
+        self.machine = machine
+        self._data = arr
+        return self
 
     # ------------------------------------------------------------------ #
     # Introspection (free: no machine steps)
@@ -82,7 +100,7 @@ class Vector:
         raise TypeError("Vector is unhashable")
 
     def _wrap(self, arr: np.ndarray) -> "Vector":
-        return Vector(self.machine, arr)
+        return Vector._adopt(self.machine, arr)
 
     def _check_same_machine(self, other: "Vector") -> None:
         if other.machine is not self.machine:
@@ -101,25 +119,17 @@ class Vector:
         else:
             rhs = other  # an immediate constant held in the instruction: free
         self.machine.charge_elementwise(len(self))
-        out = func(self._data, rhs)
-        if dtype is not None:
-            out = out.astype(dtype)
-        return self._wrap(self._maybe_corrupt("elementwise", out))
+        fn = func if dtype is None else (lambda *a: func(*a).astype(dtype))
+        out = self.machine.execute("elementwise", fn, self._data, rhs,
+                                   inject="elementwise")
+        return self._wrap(out)
 
     def _unary(self, func: Callable, dtype=None) -> "Vector":
         self.machine.charge_elementwise(len(self))
-        out = func(self._data)
-        if dtype is not None:
-            out = out.astype(dtype)
-        return self._wrap(self._maybe_corrupt("elementwise", out))
-
-    def _maybe_corrupt(self, kind: str, out: np.ndarray) -> np.ndarray:
-        """Fault-injection hook (:mod:`repro.faults`): no-op unless the
-        machine carries an injector scheduling faults for ``kind``."""
-        inj = self.machine.fault_injector
-        if inj is None:
-            return out
-        return inj.corrupt_primitive(kind, out)
+        fn = func if dtype is None else (lambda a: func(a).astype(dtype))
+        out = self.machine.execute("elementwise", fn, self._data,
+                                   inject="elementwise")
+        return self._wrap(out)
 
     def __add__(self, other) -> "Vector":
         return self._binary(other, np.add)
@@ -220,8 +230,9 @@ class Vector:
         if isinstance(if_false, Vector):
             self._check_same_machine(if_false)
         self.machine.charge_elementwise(len(self))
-        return self._wrap(self._maybe_corrupt("elementwise",
-                                              np.where(self._data, t, f)))
+        out = self.machine.execute("elementwise", np.where, self._data, t, f,
+                                   inject="elementwise")
+        return self._wrap(out)
 
     # ------------------------------------------------------------------ #
     # Communication operations
@@ -249,9 +260,9 @@ class Vector:
                 "combine_write for colliding destinations"
             )
         self.machine.charge_permute(max(len(self), n_out))
-        out = np.full(n_out, default, dtype=self._data.dtype)
-        out[idx] = self._data
-        return self._wrap(self._maybe_corrupt("permute", out))
+        out = self.machine.execute("permute", self._data, idx, n_out, default,
+                                   inject="permute")
+        return self._wrap(out)
 
     def gather(self, index: "Vector") -> "Vector":
         """``A[I]``: each processor reads the cell named by its index.
@@ -265,7 +276,7 @@ class Vector:
             raise IndexError("gather index out of range")
         unique = len(np.unique(idx)) == len(idx)
         self.machine.charge_gather(max(len(self), len(idx)), unique=unique)
-        return self._wrap(self._data[idx])
+        return self._wrap(self.machine.execute("gather", self._data, idx))
 
     def _check_same_machine_any_length(self, other: "Vector") -> None:
         if other.machine is not self.machine:
@@ -287,37 +298,15 @@ class Vector:
         if len(idx) and (idx.min() < 0 or idx.max() >= length):
             raise IndexError("combine_write index out of range")
         self.machine.charge_combine_write(max(len(self), length))
-        out = np.full(length, default, dtype=self._data.dtype)
-        if op == "min":
-            # initialize to +inf-like, reduce, restore default where untouched
-            touched = np.zeros(length, dtype=bool)
-            touched[idx] = True
-            hi = np.iinfo(self._data.dtype).max if np.issubdtype(self._data.dtype, np.integer) else np.inf
-            tmp = np.full(length, hi, dtype=self._data.dtype)
-            np.minimum.at(tmp, idx, self._data)
-            out = np.where(touched, tmp, np.asarray(default, dtype=self._data.dtype))
-        elif op == "max":
-            touched = np.zeros(length, dtype=bool)
-            touched[idx] = True
-            lo = np.iinfo(self._data.dtype).min if np.issubdtype(self._data.dtype, np.integer) else -np.inf
-            tmp = np.full(length, lo, dtype=self._data.dtype)
-            np.maximum.at(tmp, idx, self._data)
-            out = np.where(touched, tmp, np.asarray(default, dtype=self._data.dtype))
-        elif op == "sum":
-            tmp = np.zeros(length, dtype=self._data.dtype)
-            np.add.at(tmp, idx, self._data)
-            out = tmp
-        elif op == "any":
-            out[idx] = self._data  # last writer wins: an arbitrary-winner write
-        else:
-            raise ValueError(f"unknown combine op {op!r}")
+        out = self.machine.execute("combine_write", self._data, idx, length,
+                                   op, default)
         return self._wrap(out)
 
     def reverse(self) -> "Vector":
         """Read the vector in reverse processor order (used for backward
         scans, Section 3.4).  One permutation step."""
         self.machine.charge_permute(len(self))
-        return self._wrap(self._data[::-1])
+        return self._wrap(self.machine.execute("reverse", self._data))
 
     def shift(self, k: int, fill: Scalar = 0) -> "Vector":
         """Shift the vector ``k`` places toward higher indices (``k < 0``
@@ -329,15 +318,7 @@ class Vector:
         insertion.
         """
         self.machine.charge_permute(len(self))
-        n = len(self)
-        out = np.full(n, fill, dtype=self._data.dtype)
-        if k >= 0:
-            if k < n:
-                out[k:] = self._data[: n - k]
-        else:
-            if -k < n:
-                out[: n + k] = self._data[-k:]
-        return self._wrap(out)
+        return self._wrap(self.machine.execute("shift", self._data, k, fill))
 
     # ------------------------------------------------------------------ #
     # Single-cell access (one memory reference)

@@ -106,16 +106,9 @@ def _degraded_scan(v: Vector, which: str, identity) -> Vector:
     if which == "plus":
         if data.dtype == np.bool_:
             data = data.astype(np.int64)
-        out = np.empty_like(data)
-        if n:
-            out[0] = 0
-            np.cumsum(data[:-1], out=out[1:])
+        out = m.execute("plus_scan", data)
     else:
         if identity is None:
             identity = scans.max_identity(data.dtype)
-        out = np.empty_like(data)
-        if n:
-            out[0] = identity
-            np.maximum.accumulate(data[:-1], out=out[1:])
-            np.maximum(out[1:], identity, out=out[1:])
-    return Vector(m, out)
+        out = m.execute("max_scan", data, identity)
+    return Vector._adopt(m, out)

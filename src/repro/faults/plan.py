@@ -11,7 +11,10 @@ seeded, replayable half of the story:
   hypercube router, addressed by ``(dimension, message)``.
 * :class:`PrimitiveFault` — one flipped bit in the output of a
   :class:`~repro.machine.Machine` primitive (``scan``, ``elementwise`` or
-  ``permute``), addressed by the per-kind invocation index.
+  ``permute``), addressed by the per-kind invocation index.  The injector
+  attaches at the machine's single dispatch point
+  (:meth:`repro.machine.Machine.execute`), so injection behaves
+  identically on every execution backend (:mod:`repro.backends`).
 * :class:`FaultPlan` — an immutable bundle of the above plus an optional
   seeded per-invocation corruption probability.  The same plan always
   injects the same faults: every campaign is replayable from its seed.

@@ -20,11 +20,12 @@ complexity of Table 5.
 """
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
 from .._util import ceil_div, ceil_log2
+from ..backends import Backend, resolve_backend
 from .capabilities import CAPABILITIES, Capabilities
 from .counters import FaultCounters, StepCounter, StepSnapshot
 
@@ -75,6 +76,15 @@ class Machine:
         A :class:`repro.faults.FaultInjector` that corrupts primitive
         outputs (scan / elementwise / permute) on its schedule.  ``None``
         (default) disables injection with zero overhead.
+    backend:
+        The execution backend computing every primitive's result: a name
+        (``"numpy"``, ``"blocked"``, ``"blocked:<chunk>"``,
+        ``"reference"``), a :class:`repro.backends.Backend` instance, or
+        ``None`` (default) to honor the ``REPRO_BACKEND`` environment
+        variable before falling back to vectorized NumPy.  The backend
+        changes only *how* results are computed; charges, capabilities
+        and fault handling are backend-independent (see
+        :mod:`repro.backends`).
 
     Examples
     --------
@@ -96,6 +106,7 @@ class Machine:
         seed: Optional[int] = None,
         reliability=None,
         fault_injector=None,
+        backend: Optional[Union[str, Backend]] = None,
     ) -> None:
         if model not in CAPABILITIES:
             raise ValueError(
@@ -105,6 +116,8 @@ class Machine:
             raise ValueError(f"num_processors must be >= 1, got {num_processors}")
         self.model = model
         self.capabilities: Capabilities = CAPABILITIES[model]
+        #: the execution backend computing every primitive (see ``execute``)
+        self.backend: Backend = resolve_backend(backend)
         self.num_processors = num_processors
         self.allow_concurrent_write = allow_concurrent_write
         self.counter = StepCounter()
@@ -177,7 +190,29 @@ class Machine:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         p = self.num_processors if self.num_processors is not None else "n"
-        return f"Machine(model={self.model!r}, p={p}, steps={self.steps})"
+        b = "" if self.backend.name == "numpy" else f", backend={self.backend.name!r}"
+        return f"Machine(model={self.model!r}, p={p}{b}, steps={self.steps})"
+
+    # ------------------------------------------------------------------ #
+    # Execution dispatch
+    # ------------------------------------------------------------------ #
+
+    def execute(self, op: str, *args, inject: Optional[str] = None, **kwargs):
+        """The single dispatch point between cost model and computation.
+
+        Runs one primitive on the execution backend and, when ``inject``
+        names a fault kind (``"scan"``, ``"elementwise"`` or
+        ``"permute"``), exposes the raw output to the machine's fault
+        injector.  Every primitive in :mod:`repro.core` computes through
+        here — never through NumPy directly — so swapping the backend (or
+        attaching an injector) covers the whole primitive set at once.
+        Charging stays with the ``charge_*`` methods: ``execute`` costs
+        nothing.
+        """
+        out = getattr(self.backend, op)(*args, **kwargs)
+        if inject is not None and self.fault_injector is not None:
+            out = self.fault_injector.corrupt_primitive(inject, out)
+        return out
 
     # ------------------------------------------------------------------ #
     # Cost formulas
@@ -309,22 +344,27 @@ class Machine:
         arr = np.asarray(data, dtype=dtype)
         if dtype is None and arr.size == 0 and arr.dtype == np.float64:
             arr = arr.astype(np.int64)
-        return Vector(self, arr)
+        if arr is data:  # the caller's own array: defensive copy
+            return Vector(self, arr)
+        return Vector._adopt(self, arr)
 
     def flags(self, data) -> "Vector":
         """Create a boolean flag vector owned by this machine."""
         from ..core.vector import Vector
 
-        return Vector(self, np.asarray(data, dtype=bool))
+        arr = np.asarray(data, dtype=bool)
+        if arr is data:
+            return Vector(self, arr)
+        return Vector._adopt(self, arr)
 
     def zeros(self, n: int, dtype=np.int64) -> "Vector":
         from ..core.vector import Vector
 
-        return Vector(self, np.zeros(n, dtype=dtype))
+        return Vector._adopt(self, np.zeros(n, dtype=dtype))
 
     def arange(self, n: int) -> "Vector":
         """The index vector ``[0, 1, ..., n-1]`` (each processor knows its
         own address; no steps are charged)."""
         from ..core.vector import Vector
 
-        return Vector(self, np.arange(n, dtype=np.int64))
+        return Vector._adopt(self, np.arange(n, dtype=np.int64))

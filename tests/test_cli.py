@@ -16,11 +16,20 @@ class TestInProcess:
         ["table4", "--n", "1024"],
         ["table5", "--n", "512"],
         ["figure9"],
+        ["backends"],
     ])
     def test_commands_run(self, argv, capsys):
         assert main(argv) == 0
         out = capsys.readouterr().out
         assert out.strip()
+
+    def test_backends_lists_and_self_checks_all(self, capsys):
+        main(["backends"])
+        out = capsys.readouterr().out
+        for name in ("numpy", "blocked", "reference"):
+            assert name in out
+        assert out.count("self-check ok") == 4  # 3 backends + blocked:4 demo
+        assert "FAILED" not in out
 
     def test_table1_shows_all_models(self, capsys):
         main(["table1", "mis"])
