@@ -22,3 +22,40 @@ def write_report(name: str, lines: list[str]) -> None:
 
 def fmt_row(cols, widths) -> str:
     return "  ".join(str(c).rjust(w) for c, w in zip(cols, widths))
+
+
+def write_metrics_report(name: str, title: str, prefix: str,
+                         footer: list[str] | None = None) -> None:
+    """Render every ``repro.observe`` registry instrument under ``prefix``
+    as a report table — benchmarks publish measurements into the shared
+    metrics registry and this renders them, instead of each bench file
+    hand-rolling its own printing."""
+    from repro.observe import get_registry
+
+    snapshot = get_registry().snapshot()
+    rows = [(key[len(prefix):].lstrip("."), inst)
+            for key, inst in sorted(snapshot.items())
+            if key.startswith(prefix)]
+    assert rows, f"no metrics published under {prefix!r}"
+    width = max(len(key) for key, _ in rows)
+    lines = [title]
+    for key, inst in rows:
+        if inst["type"] == "histogram":
+            lines.append(f"  {key.ljust(width)}  count={inst['count']} "
+                         f"total={inst['total']} min={inst['min']} "
+                         f"max={inst['max']}")
+        else:
+            lines.append(f"  {key.ljust(width)}  {inst['value']}")
+    lines.extend(footer or [])
+    write_report(name, lines)
+
+
+def profile_report(algorithm: str, backend: str):
+    """Profile one observe workload on ``backend`` and persist the rendered
+    span/step report as ``results/profile_<algorithm>_<backend>.txt``."""
+    from repro.observe import run_profile
+
+    profile = run_profile(algorithm, backend=backend)
+    write_report(f"profile_{algorithm}_{backend.partition(':')[0]}",
+                 profile.render_table().splitlines())
+    return profile

@@ -1,0 +1,35 @@
+"""Span/step profiles for three Table 1 algorithms on both real-execution
+backends, recorded through ``repro.observe`` (the same profiler behind
+``python -m repro profile``).
+
+Each run persists the rendered report as
+``results/profile_<algorithm>_<backend>.txt`` — step total, primitive
+mix, and the span tree with wall-clock and temporary-byte estimates —
+and cross-checks the step total against the committed golden baseline in
+``baselines/``: the profile reports and the regression gate must never
+tell different stories.
+"""
+import json
+import pathlib
+
+import pytest
+
+from _common import profile_report
+
+BASELINE_DIR = pathlib.Path(__file__).parent.parent / "baselines"
+
+ALGORITHMS = ["radix_sort", "halving_merge", "mst"]
+BACKENDS = ["numpy", "blocked"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_profile_reports(algorithm, backend, benchmark):
+    from repro.observe import run_profile
+
+    benchmark(lambda: run_profile(algorithm, backend=backend))
+    profile = profile_report(algorithm, backend)
+    golden = json.loads((BASELINE_DIR / f"{algorithm}.json").read_text())
+    assert profile.steps == golden["steps"]
+    assert profile.by_kind == golden["by_kind"]
+    assert profile.backend == backend

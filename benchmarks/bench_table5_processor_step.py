@@ -17,18 +17,25 @@ from repro.algorithms import (
 )
 from repro.algorithms.tree_contraction import ExpressionTree
 
-from _common import fmt_row, write_report
+from _common import fmt_row, write_metrics_report, write_report
 
 
 def _report(name, rows, benchmark_result=None):
-    lines = [f"Table 5 ({name}): processor-step complexity",
-             fmt_row(["processors", "steps", "work = p x steps"], [12, 10, 18])]
+    # publish the measurements into the shared observe registry and let
+    # the common renderer print/persist them
+    from repro.observe import get_registry
+
+    registry = get_registry()
     for p, steps, work in rows:
-        lines.append(fmt_row([p, steps, work], [12, 10, 18]))
+        registry.gauge(f"table5.{name}.p={p}.steps").set(steps)
+        registry.gauge(f"table5.{name}.p={p}.work").set(work)
     ratio = rows[0][2] / rows[-1][2]
-    lines.append(f"work reduction p=n -> p=n/lg n: {ratio:.2f}x "
-                 "(paper: an O(lg n) factor)")
-    write_report(f"table5_{name}", lines)
+    write_metrics_report(
+        f"table5_{name}",
+        f"Table 5 ({name}): processor-step complexity",
+        prefix=f"table5.{name}.",
+        footer=[f"work reduction p=n -> p=n/lg n: {ratio:.2f}x "
+                "(paper: an O(lg n) factor)"])
     return ratio
 
 

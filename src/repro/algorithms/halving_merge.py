@@ -32,6 +32,7 @@ import numpy as np
 
 from ..core import ops, scans
 from ..core.vector import Vector
+from ..observe.spans import span
 
 __all__ = ["halving_merge", "near_merge_fix"]
 
@@ -85,9 +86,10 @@ def _merge_keys(ka: Vector, kb: Vector) -> Vector:
         return _base_merge(ka, kb)
 
     # 1. recurse on the elements at even positions (a pack each)
-    even_a = (m.arange(n) % 2) == 0
-    even_b = (m.arange(k) % 2) == 0
-    merged = _merge_keys(ops.pack(ka, even_a), ops.pack(kb, even_b))
+    with span(f"halve[n={n + k}]"):
+        even_a = (m.arange(n) % 2) == 0
+        even_b = (m.arange(k) % 2) == 0
+        merged = _merge_keys(ops.pack(ka, even_a), ops.pack(kb, even_b))
 
     # 2. even-insertion.  A merged element of rank r within its source has
     #    an unmerged successor exactly when the source held an element at

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..core import ops, scans
 from ..core.vector import Vector
+from ..observe.spans import span
 
 __all__ = ["split_radix_sort", "split_radix_sort_with_rank",
            "split_radix_sort_signed", "split_radix_sort_float", "key_bits"]
@@ -59,7 +60,8 @@ def split_radix_sort(v: Vector, number_of_bits: Optional[int] = None) -> Vector:
     if number_of_bits is None:
         number_of_bits = key_bits(v)
     for i in range(number_of_bits):
-        v = ops.split(v, v.bit(i))
+        with span(f"bit[{i}]"):
+            v = ops.split(v, v.bit(i))
     return v
 
 

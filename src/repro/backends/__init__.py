@@ -22,7 +22,7 @@ from __future__ import annotations
 import os
 from typing import Optional, Union
 
-from .base import Backend
+from .base import Backend, OpEvent
 from .blocked import BlockedBackend
 from .numpy_backend import NumPyBackend
 from .reference import ReferenceBackend
@@ -31,6 +31,7 @@ __all__ = [
     "Backend",
     "BlockedBackend",
     "NumPyBackend",
+    "OpEvent",
     "ReferenceBackend",
     "available_backends",
     "get_backend",

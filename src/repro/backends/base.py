@@ -30,12 +30,37 @@ in ``tests/test_backends.py`` enforces it):
 """
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Callable, ClassVar
 
 import numpy as np
 
-__all__ = ["Backend"]
+__all__ = ["Backend", "OpEvent"]
+
+
+@dataclass(frozen=True)
+class OpEvent:
+    """One executed primitive, as reported to backend observers.
+
+    ``seconds`` is the op's wall-clock duration; ``out_bytes`` the size of
+    the materialized result; ``temp_bytes`` the backend's estimate of its
+    own peak working storage for the op (see :meth:`Backend.temp_bytes` —
+    this is where the blocked backend's chunk-bounded temporaries become
+    visible to a profiler).
+    """
+
+    op: str
+    seconds: float
+    out_bytes: int
+    temp_bytes: int
+    backend: str
+
+
+def _result_bytes(out) -> int:
+    """Bytes materialized by a primitive's result (0 for scalars)."""
+    return int(out.nbytes) if isinstance(out, np.ndarray) else 0
 
 
 class Backend(ABC):
@@ -46,6 +71,71 @@ class Backend(ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
+
+    # ------------------------------------------------------------------ #
+    # Observability (repro.observe): per-op timing / memory hooks
+    # ------------------------------------------------------------------ #
+
+    @property
+    def observers(self) -> list:
+        """Callables receiving an :class:`OpEvent` after every primitive
+        run through :meth:`run`.  Lazily created so subclasses need no
+        ``__init__`` cooperation; empty means zero per-op overhead."""
+        try:
+            return self._observers
+        except AttributeError:
+            self._observers: list = []
+            return self._observers
+
+    def run(self, op: str, *args, **kwargs):
+        """Execute one primitive by name, notifying observers.
+
+        This is the machine's entry point
+        (:meth:`repro.machine.Machine.execute` delegates here).  With no
+        observers attached it is a bare dispatch — results and timing are
+        indistinguishable from calling the method directly — so
+        instrumentation stays strictly opt-in.
+        """
+        fn = getattr(self, op)
+        observers = getattr(self, "_observers", None)
+        counter = self._ops_metric()
+        if not observers:
+            counter.inc()
+            return fn(*args, **kwargs)
+        t0 = time.perf_counter()
+        out = fn(*args, **kwargs)
+        seconds = time.perf_counter() - t0
+        counter.inc()
+        out_bytes = _result_bytes(out)
+        event = OpEvent(op=op, seconds=seconds, out_bytes=out_bytes,
+                        temp_bytes=self.temp_bytes(op, out_bytes),
+                        backend=self.name)
+        for observer in observers:
+            observer(event)
+        return out
+
+    def _ops_metric(self):
+        """Cached handle on this backend's ``backend.<name>.ops`` counter
+        in the process-wide registry (:mod:`repro.observe.metrics`)."""
+        try:
+            return self._ops_counter
+        except AttributeError:
+            from ..observe.metrics import registry
+
+            self._ops_counter = registry.counter(f"backend.{self.name}.ops")
+            return self._ops_counter
+
+    def temp_bytes(self, op: str, out_bytes: int) -> int:
+        """Estimated peak working storage for one op, in bytes.
+
+        The base estimate is whole-vector: a temporary the size of the
+        result.  Backends whose execution strategy bounds temporaries
+        differently (chunked, per-element) override this — it is the
+        memory half of the per-op observability hook, deliberately an
+        *estimate*: exact allocator truth needs ``tracemalloc``, which
+        costs far too much to leave attached.
+        """
+        return out_bytes
 
     # ------------------------------------------------------------------ #
     # Elementwise

@@ -53,6 +53,13 @@ class BlockedBackend(Backend):
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"BlockedBackend(chunk={self.chunk})"
 
+    def temp_bytes(self, op: str, out_bytes: int) -> int:
+        """Chunk-bounded temporaries: working storage never exceeds one
+        chunk of the widest lane (8-byte words), regardless of vector
+        length — the figure a profiler should see drop when switching a
+        long-vector run from ``numpy`` to ``blocked``."""
+        return min(out_bytes, self.chunk * 8)
+
     def _spans(self, n: int) -> Iterator[tuple[int, int]]:
         for start in range(0, n, self.chunk):
             yield start, min(start + self.chunk, n)

@@ -57,6 +57,14 @@ class NumPyBackend(Backend):
 
     name = "numpy"
 
+    def temp_bytes(self, op: str, out_bytes: int) -> int:
+        """Whole-vector temporaries: every NumPy expression materializes
+        intermediates the size of the result (the base estimate), and the
+        rank-encoding segmented extreme scan holds about three of them."""
+        if op == "seg_extreme_scan":
+            return 3 * out_bytes
+        return out_bytes
+
     # -------------------------- elementwise --------------------------- #
 
     def elementwise(self, fn: Callable, *operands) -> np.ndarray:

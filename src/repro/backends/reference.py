@@ -29,6 +29,13 @@ class ReferenceBackend(Backend):
 
     name = "reference"
 
+    def temp_bytes(self, op: str, out_bytes: int) -> int:
+        """Per-element execution touches one element at a time; working
+        storage is a couple of machine words whatever the vector length
+        (the output buffer itself is reported separately as result
+        bytes)."""
+        return min(out_bytes, 16)
+
     # -------------------------- elementwise --------------------------- #
 
     def elementwise(self, fn: Callable, *operands) -> np.ndarray:

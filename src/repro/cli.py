@@ -9,6 +9,8 @@
     python -m repro figure9             # the line-drawing figure (ASCII)
     python -m repro demo                # a quick primitive tour
     python -m repro backends            # execution backends + self-check
+    python -m repro profile radix_sort  # spans/steps/bytes profile
+    python -m repro profile mst --backend blocked --export chrome
 
 The heavyweight regeneration (wall-clock timing included) lives in
 ``pytest benchmarks/ --benchmark-only``; this CLI prints the step/cycle
@@ -226,6 +228,30 @@ def _backends(args) -> None:
         raise SystemExit("blocked:4 failed its self-check")
 
 
+def _profile(args) -> None:
+    import json
+
+    from .observe import to_chrome_trace, to_json
+    from .observe.profiles import run_profile
+
+    p = run_profile(args.algorithm, backend=args.backend, model=args.model,
+                    n=args.n, seed=args.seed)
+    if args.export == "table":
+        text = p.render_table()
+    elif args.export == "json":
+        text = to_json(p)
+    else:
+        text = json.dumps(to_chrome_trace(p), indent=2)
+    if args.output:
+        import pathlib
+
+        pathlib.Path(args.output).write_text(text + "\n")
+        print(f"profile({p.algorithm}, backend={p.backend}): {p.steps} steps; "
+              f"{args.export} written to {args.output}")
+    else:
+        print(text)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -259,6 +285,28 @@ def main(argv: list[str] | None = None) -> int:
     pb = sub.add_parser("backends",
                         help="list execution backends and self-check each")
     pb.set_defaults(func=_backends)
+
+    pp = sub.add_parser(
+        "profile",
+        help="profile a Table 1 algorithm: spans, steps, bytes, metrics")
+    from .observe.profiles import available_algorithms
+
+    pp.add_argument("algorithm", choices=available_algorithms())
+    pp.add_argument("--backend", default=None,
+                    help="execution backend (numpy, blocked, blocked:<chunk>, "
+                         "reference); default honors REPRO_BACKEND")
+    pp.add_argument("--model", default="scan",
+                    choices=["erew", "crew", "crcw", "scan"])
+    pp.add_argument("--n", type=int, default=None,
+                    help="problem size (default: the workload's pinned size)")
+    pp.add_argument("--seed", type=int, default=0)
+    pp.add_argument("--export", default="table",
+                    choices=["table", "json", "chrome"],
+                    help="output format; 'chrome' is the Trace Event JSON "
+                         "for chrome://tracing")
+    pp.add_argument("-o", "--output", default=None,
+                    help="write the export to a file instead of stdout")
+    pp.set_defaults(func=_profile)
 
     pf = sub.add_parser("faults",
                         help="fault injection: detect / mask / degrade")

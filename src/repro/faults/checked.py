@@ -36,9 +36,17 @@ from ..baselines.erew_scan import erew_scan_steps
 from ..core import scans
 from ..core.simulate import sim_verify_max_scan, sim_verify_plus_scan
 from ..core.vector import Vector
+from ..observe.metrics import registry as _metrics
 from .plan import ReliabilityPolicy, ScanVerificationError
 
 __all__ = ["reliable_plus_scan", "reliable_max_scan"]
+
+# process-wide fault telemetry (repro.observe), alongside the per-machine
+# FaultCounters ledger
+_DETECTED = _metrics.counter("faults.detected")
+_RETRIED = _metrics.counter("faults.retried")
+_CORRECTED = _metrics.counter("faults.corrected")
+_DEGRADED = _metrics.counter("faults.degraded_scans")
 
 
 @contextmanager
@@ -79,10 +87,13 @@ def _reliable_scan(v: Vector, which: str, identity) -> Vector:
         if ok:
             if attempt:
                 m.fault_counters.corrected += 1
+                _CORRECTED.inc()
             return out
         m.fault_counters.detected += 1
+        _DETECTED.inc()
         if attempt < attempts - 1:
             m.fault_counters.retried += 1
+            _RETRIED.inc()
 
     if policy.degrade_on_failure:
         m.scan_unit_failed = True
@@ -102,6 +113,7 @@ def _degraded_scan(v: Vector, which: str, identity) -> Vector:
     n = len(v)
     m.counter.charge("scan_degraded", erew_scan_steps(n) if n else 0)
     m.fault_counters.degraded_scans += 1
+    _DEGRADED.inc()
     data = v.data
     if which == "plus":
         if data.dtype == np.bool_:

@@ -35,6 +35,11 @@ import numpy as np
 
 from .._util import ceil_log2
 from ..machine.counters import FaultCounters
+from ..observe.metrics import registry as _metrics
+
+#: process-wide fault telemetry (the per-machine ``FaultCounters`` ledger
+#: still reconciles per run; this aggregates across every injector)
+_INJECTED_METRIC = _metrics.counter("faults.injected")
 
 __all__ = [
     "CIRCUIT_FIELDS",
@@ -261,6 +266,7 @@ class FaultInjector:
 
     def record_injected(self, count: int = 1) -> None:
         self.counters.injected += count
+        _INJECTED_METRIC.inc(count)
 
     # ------------------------------------------------------------------ #
     # Circuit-level faults (consumed by repro.hardware)

@@ -72,11 +72,18 @@ class FaultCounters:
 
 @dataclass(frozen=True)
 class StepSnapshot:
-    """An immutable point-in-time reading of a :class:`StepCounter`."""
+    """An immutable point-in-time reading of a :class:`StepCounter`.
+
+    ``backend`` names the execution engine that computed the charged
+    primitives when the snapshot came from
+    :meth:`repro.machine.Machine.snapshot` (``None`` when taken directly
+    from a bare counter, which has no engine to name).
+    """
 
     steps: int
     by_kind: dict[str, int]
     ops: int
+    backend: str | None = None
 
     @property
     def degraded(self) -> bool:
@@ -93,6 +100,7 @@ class StepSnapshot:
             steps=self.steps - other.steps,
             by_kind={k: v for k, v in kinds.items() if v},
             ops=self.ops - other.ops,
+            backend=self.backend,
         )
 
 
@@ -126,8 +134,9 @@ class StepCounter:
         self.ops = 0
         self.by_kind.clear()
 
-    def snapshot(self) -> StepSnapshot:
-        return StepSnapshot(steps=self.steps, by_kind=dict(self.by_kind), ops=self.ops)
+    def snapshot(self, backend: str | None = None) -> StepSnapshot:
+        return StepSnapshot(steps=self.steps, by_kind=dict(self.by_kind),
+                            ops=self.ops, backend=backend)
 
     @contextmanager
     def measure(self):

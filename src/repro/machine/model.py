@@ -20,12 +20,14 @@ complexity of Table 5.
 """
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Optional, Union
 
 import numpy as np
 
 from .._util import ceil_div, ceil_log2
 from ..backends import Backend, resolve_backend
+from ..observe.metrics import registry as _metrics
 from .capabilities import CAPABILITIES, Capabilities
 from .counters import FaultCounters, StepCounter, StepSnapshot
 
@@ -143,6 +145,11 @@ class Machine:
         # re-entrancy latch: True while a checked scan runs its raw
         # primitive / verifier (the checker cannot check itself)
         self._suppress_scan_check = False
+        # process-wide metrics (repro.observe): handles cached here so the
+        # charging hot path pays one attribute access, not a name lookup
+        _metrics.counter("machine.instances").inc()
+        self._metric_scan_invocations = _metrics.counter("scan.invocations")
+        self._metric_scan_n = _metrics.histogram("scan.n")
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -182,16 +189,31 @@ class Machine:
         self.scan_unit_failed = True
 
     def snapshot(self) -> StepSnapshot:
-        return self.counter.snapshot()
+        """A point-in-time reading, stamped with the active backend's name
+        so profile reports and failure messages identify the engine."""
+        return self.counter.snapshot(backend=self.backend.name)
 
+    @contextmanager
     def measure(self):
-        """``with m.measure() as r: ...`` then ``r.delta.steps``."""
-        return self.counter.measure()
+        """``with m.measure() as r: ...`` then ``r.delta.steps``.
+
+        Like :meth:`StepCounter.measure`, but the delta snapshot carries
+        this machine's backend name."""
+        before = self.snapshot()
+
+        class _Holder:
+            delta: Optional[StepSnapshot] = None
+
+        holder = _Holder()
+        try:
+            yield holder
+        finally:
+            holder.delta = self.snapshot() - before
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         p = self.num_processors if self.num_processors is not None else "n"
-        b = "" if self.backend.name == "numpy" else f", backend={self.backend.name!r}"
-        return f"Machine(model={self.model!r}, p={p}{b}, steps={self.steps})"
+        return (f"Machine(model={self.model!r}, p={p}, "
+                f"backend={self.backend.name!r}, steps={self.steps})")
 
     # ------------------------------------------------------------------ #
     # Execution dispatch
@@ -207,9 +229,11 @@ class Machine:
         here — never through NumPy directly — so swapping the backend (or
         attaching an injector) covers the whole primitive set at once.
         Charging stays with the ``charge_*`` methods: ``execute`` costs
-        nothing.
+        nothing.  Dispatch goes through :meth:`repro.backends.Backend.run`,
+        the per-op observability hook — an attached profiler sees every
+        primitive's wall time and byte estimates from there.
         """
-        out = getattr(self.backend, op)(*args, **kwargs)
+        out = self.backend.run(op, *args, **kwargs)
         if inject is not None and self.fault_injector is not None:
             out = self.fault_injector.corrupt_primitive(inject, out)
         return out
@@ -265,6 +289,8 @@ class Machine:
 
     def charge_scan(self, n: int) -> None:
         """One scan primitive over an ``n``-element vector."""
+        self._metric_scan_invocations.inc()
+        self._metric_scan_n.observe(n)
         if n == 0:
             self.counter.charge("scan", 0)
             return

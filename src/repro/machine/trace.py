@@ -1,8 +1,7 @@
-"""Tracing and profiling for machine step charges.
+"""Tracing and profiling for machine step charges — back-compat shim.
 
-The step counter answers "how many"; this module answers "where".  A
-:class:`Trace` hooks the counter and records every primitive charge, with
-user-defined phase labels::
+This module's :class:`Trace` / :func:`trace` API predates the
+observability layer and is preserved verbatim for existing callers::
 
     m = Machine("scan")
     with trace(m) as t:
@@ -12,16 +11,22 @@ user-defined phase labels::
             halving_merge(...)
     print(t.report())
 
-The report breaks the step total down by phase and by primitive kind —
-useful both for understanding an algorithm's primitive mix (Table 3
-style) and for finding the expensive stage of a pipeline.
+Since PR 3 it is a thin shim over :mod:`repro.observe`: each
+:class:`Trace` owns a (detached) :class:`~repro.observe.spans.Profiler`,
+``phase`` opens a span on it, and the flat event/report surface is
+derived from the profiler's charge log.  Semantics are unchanged and
+pinned by ``tests/test_trace.py`` — flat phase labels, innermost label
+wins, ``"(untagged)"`` outside any phase.  New code that wants wall
+time, backend identity, byte estimates or hierarchy should use
+:func:`repro.observe.profile` (and :func:`repro.observe.span`) directly;
+new code that only wants a quick step breakdown can keep using this.
 """
 from __future__ import annotations
 
-from collections import Counter
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from ..observe.spans import Profiler
 from .model import Machine
 
 __all__ = ["Trace", "TraceEvent", "trace"]
@@ -36,61 +41,77 @@ class TraceEvent:
     phase: str
 
 
-@dataclass
 class Trace:
-    """Recorded charges plus aggregation helpers."""
+    """Recorded charges plus aggregation helpers (legacy flat view).
 
-    events: list[TraceEvent] = field(default_factory=list)
-    _phase_stack: list[str] = field(default_factory=list)
+    Wraps a :class:`~repro.observe.spans.Profiler`; ``_record`` is the
+    listener :func:`trace` hooks into the machine's step counter, exactly
+    as before the observability layer existed.
+    """
+
+    def __init__(self) -> None:
+        self._profiler = Profiler()
 
     # ------------------------------------------------------------------ #
+
+    @property
+    def profiler(self) -> Profiler:
+        """The underlying span profiler (hierarchical view of the same
+        charges; its spans carry no wall-time attribution here because a
+        bare ``Trace`` observes only the step counter)."""
+        return self._profiler
 
     @property
     def current_phase(self) -> str:
-        return self._phase_stack[-1] if self._phase_stack else "(untagged)"
+        cur = self._profiler.current_span
+        return "(untagged)" if cur is self._profiler.root else cur.name
 
-    @contextmanager
     def phase(self, name: str):
         """Label the charges made inside the block (phases may nest; the
         innermost label wins)."""
-        self._phase_stack.append(name)
-        try:
-            yield self
-        finally:
-            self._phase_stack.pop()
+        return self._profiler.span(name)
 
     def _record(self, kind: str, cost: int) -> None:
-        self.events.append(TraceEvent(kind=kind, cost=cost,
-                                      phase=self.current_phase))
+        self._profiler._on_charge(kind, cost)
 
     # ------------------------------------------------------------------ #
 
     @property
+    def events(self) -> list[TraceEvent]:
+        return [
+            TraceEvent(kind=e.kind, cost=e.cost,
+                       phase=("(untagged)" if e.span is self._profiler.root
+                              else e.span.name))
+            for e in self._profiler.events
+        ]
+
+    @property
     def total_steps(self) -> int:
-        return sum(e.cost for e in self.events)
+        return self._profiler.total_steps
 
     def by_kind(self) -> dict[str, int]:
-        c: Counter = Counter()
-        for e in self.events:
-            c[e.kind] += e.cost
-        return dict(c)
+        c: dict[str, int] = {}
+        for e in self._profiler.events:
+            c[e.kind] = c.get(e.kind, 0) + e.cost
+        return c
 
     def by_phase(self) -> dict[str, int]:
-        c: Counter = Counter()
+        c: dict[str, int] = {}
         for e in self.events:
-            c[e.phase] += e.cost
-        return dict(c)
+            c[e.phase] = c.get(e.phase, 0) + e.cost
+        return c
 
     def phase_kind_matrix(self) -> dict[str, dict[str, int]]:
-        out: dict[str, Counter] = {}
+        out: dict[str, dict[str, int]] = {}
         for e in self.events:
-            out.setdefault(e.phase, Counter())[e.kind] += e.cost
-        return {p: dict(c) for p, c in out.items()}
+            out.setdefault(e.phase, {})
+            out[e.phase][e.kind] = out[e.phase].get(e.kind, 0) + e.cost
+        return out
 
     def report(self) -> str:
         """A human-readable profile."""
-        lines = [f"total: {self.total_steps} steps in {len(self.events)} "
-                 "primitive invocations"]
+        lines = [f"total: {self.total_steps} steps in "
+                 f"{len(self._profiler.events)} primitive invocations"]
         by_phase = self.by_phase()
         matrix = self.phase_kind_matrix()
         for phase in sorted(by_phase, key=by_phase.get, reverse=True):

@@ -1,0 +1,295 @@
+"""Profile harness: run a Table 1 algorithm under full observation.
+
+One call — :func:`run_profile` — builds a deterministic seeded workload
+for a named algorithm, runs it on a fresh :class:`~repro.machine.Machine`
+with a :class:`~repro.observe.spans.Profiler` attached, and returns a
+:class:`Profile`: exact step totals, the primitive mix, the span tree
+(wall time, backend ops, byte estimates) and the metrics-registry delta.
+
+The workload registry below covers a representative slice of the paper's
+Table 1 — two sorts, the merge, four graph algorithms, list ranking,
+tree contraction, computational geometry and line drawing — each with a
+fixed problem size and seed so that **step counts are exactly
+reproducible** across runs, machines and execution backends.  That
+reproducibility is what the golden-baseline harness
+(:mod:`repro.observe.baselines`, ``tools/update_baselines.py``,
+``tests/test_profile_baselines.py``) turns into a regression gate, and
+what ``python -m repro profile`` exposes interactively.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from .exporters import render_table, to_chrome_trace, to_json
+from .metrics import registry as _registry
+from .spans import Profiler, Span, span
+
+__all__ = [
+    "Profile",
+    "Workload",
+    "WORKLOADS",
+    "available_algorithms",
+    "run_profile",
+]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A deterministic, seedable run of one algorithm.
+
+    ``run(machine, n, rng)`` must charge all its work to ``machine`` and
+    verify its own answer (host-side, uncharged) — a baseline pinned to a
+    wrong answer would be worse than no baseline.
+    """
+
+    name: str
+    default_n: int
+    run: Callable
+    #: extra Machine(...) keyword arguments the algorithm requires
+    machine_kwargs: dict = field(default_factory=dict)
+    description: str = ""
+
+
+@dataclass
+class Profile:
+    """Everything one profiled run observed (see the exporters)."""
+
+    algorithm: str
+    model: str
+    backend: str
+    n: int
+    seed: int
+    steps: int
+    ops: int
+    by_kind: dict[str, int]
+    wall_seconds: float
+    root: Span
+    metrics: dict[str, dict]
+
+    def render_table(self) -> str:
+        return render_table(self)
+
+    def to_json(self, **kwargs) -> str:
+        return to_json(self, **kwargs)
+
+    def to_chrome_trace(self) -> dict:
+        return to_chrome_trace(self)
+
+
+# --------------------------------------------------------------------- #
+# Workload definitions (deterministic: all randomness flows from `rng`
+# and the machine's own seeded generator)
+# --------------------------------------------------------------------- #
+
+def _run_radix_sort(m, n: int, rng: np.random.Generator) -> None:
+    from ..algorithms import split_radix_sort
+
+    data = rng.integers(0, 1 << 8, n)
+    with span("sort"):
+        out = split_radix_sort(m.vector(data), number_of_bits=8)
+    assert np.array_equal(out.data, np.sort(data))
+
+
+def _run_quicksort(m, n: int, rng: np.random.Generator) -> None:
+    from ..algorithms import quicksort
+
+    data = rng.integers(0, 10**6, n)
+    with span("sort"):
+        out = quicksort(m.vector(data))
+    assert np.array_equal(out.data, np.sort(data))
+
+
+def _run_halving_merge(m, n: int, rng: np.random.Generator) -> None:
+    from ..algorithms import halving_merge
+
+    a = np.sort(rng.integers(0, 10**6, n // 2))
+    b = np.sort(rng.integers(0, 10**6, n // 2))
+    with span("merge"):
+        merged, _flags = halving_merge(m.vector(a), m.vector(b))
+    assert np.array_equal(merged.data, np.sort(np.concatenate([a, b])))
+
+
+def _random_graph(rng: np.random.Generator, n: int):
+    from ..graph import random_connected_graph
+
+    return random_connected_graph(rng, n, 2 * n)
+
+
+def _run_mst(m, n: int, rng: np.random.Generator) -> None:
+    from ..algorithms import minimum_spanning_tree
+
+    edges, weights = _random_graph(rng, n)
+    with span("mst"):
+        result = minimum_spanning_tree(m, n, edges, weights)
+    assert len(result.edge_ids) == n - 1
+
+
+def _run_connected_components(m, n: int, rng: np.random.Generator) -> None:
+    from ..algorithms import connected_components
+
+    edges, _ = _random_graph(rng, n)
+    with span("components"):
+        result = connected_components(m, n, edges)
+    assert result.num_components == 1  # the generator guarantees connectivity
+
+
+def _run_mis(m, n: int, rng: np.random.Generator) -> None:
+    from ..algorithms import maximal_independent_set
+
+    edges, _ = _random_graph(rng, n)
+    with span("mis"):
+        result = maximal_independent_set(m, n, edges)
+    in_set = result.in_set
+    assert in_set.any()
+    assert not (in_set[edges[:, 0]] & in_set[edges[:, 1]]).any()
+
+
+def _run_list_ranking(m, n: int, rng: np.random.Generator) -> None:
+    from ..algorithms import list_rank
+
+    order = rng.permutation(n)
+    nxt = np.full(n, -1, dtype=np.int64)
+    nxt[order[:-1]] = order[1:]
+    with span("rank"):
+        ranks = list_rank(m.vector(nxt))
+    expected = np.empty(n, dtype=np.int64)
+    expected[order] = n - 1 - np.arange(n)  # rank = distance to list end
+    assert np.array_equal(ranks.data, expected)
+
+
+def _run_tree_contraction(m, n: int, rng: np.random.Generator) -> None:
+    from ..algorithms.tree_contraction import ExpressionTree, tree_contract
+
+    tree = ExpressionTree.random(rng, n)
+    with span("contract"):
+        value, _ = tree_contract(m, tree)
+    assert value == tree.eval_serial()
+
+
+def _run_convex_hull(m, n: int, rng: np.random.Generator) -> None:
+    from ..algorithms import convex_hull
+
+    points = rng.integers(-10**6, 10**6, size=(n, 2))
+    with span("hull"):
+        result = convex_hull(m, points)
+    assert len(result.hull_indices) >= 3
+
+
+def _run_line_drawing(m, n: int, rng: np.random.Generator) -> None:
+    from ..algorithms import draw_lines
+
+    # n random segments on a 64x64 grid (plus Figure 9's three, for old
+    # times' sake, when n allows)
+    endpoints = rng.integers(0, 64, size=(n, 4)).tolist()
+    with span("draw"):
+        drawing = draw_lines(m, endpoints)
+    assert (drawing.counts.data > 0).all()
+
+
+WORKLOADS: dict[str, Workload] = {
+    w.name: w for w in (
+        Workload("radix_sort", 512, _run_radix_sort,
+                 description="split radix sort, 8-bit keys (Sec 4.1)"),
+        Workload("quicksort", 512, _run_quicksort,
+                 description="segmented parallel quicksort (Sec 1)"),
+        Workload("halving_merge", 512, _run_halving_merge,
+                 description="halving merge of two sorted halves (Sec 10)"),
+        Workload("mst", 128, _run_mst,
+                 description="minimum spanning tree, random-mate (Sec 6)"),
+        Workload("connected_components", 128, _run_connected_components,
+                 description="connected components (Sec 6)"),
+        Workload("maximal_independent_set", 128, _run_mis,
+                 description="Luby's maximal independent set"),
+        Workload("list_ranking", 1024, _run_list_ranking,
+                 description="pointer-jumping list ranking (Sec 8)"),
+        Workload("tree_contraction", 256, _run_tree_contraction,
+                 description="expression-tree contraction (Sec 8)"),
+        Workload("convex_hull", 256, _run_convex_hull,
+                 description="quickhull on integer points (Sec 7)"),
+        Workload("line_drawing", 16, _run_line_drawing,
+                 machine_kwargs={"allow_concurrent_write": True},
+                 description="grid line drawing (Sec 5, Figure 9)"),
+    )
+}
+
+
+def available_algorithms() -> list[str]:
+    """Profileable algorithm names, sorted."""
+    return sorted(WORKLOADS)
+
+
+# --------------------------------------------------------------------- #
+# The harness
+# --------------------------------------------------------------------- #
+
+def _metrics_delta(before: dict, after: dict) -> dict[str, dict]:
+    """Per-run registry activity: counter/histogram movement during the
+    profiled block (gauges are point-in-time and reported as-is)."""
+    out: dict[str, dict] = {}
+    for name, now in after.items():
+        prev = before.get(name)
+        if now["type"] == "counter":
+            delta = now["value"] - (prev["value"] if prev else 0)
+            if delta:
+                out[name] = {"type": "counter", "value": delta}
+        elif now["type"] == "gauge":
+            out[name] = dict(now)
+        else:
+            count = now["count"] - (prev["count"] if prev else 0)
+            if count:
+                out[name] = {
+                    "type": "histogram",
+                    "count": count,
+                    "total": now["total"] - (prev["total"] if prev else 0),
+                }
+    return out
+
+
+def run_profile(algorithm: str, *, backend=None, model: str = "scan",
+                n: Optional[int] = None, seed: int = 0,
+                num_processors: Optional[int] = None) -> Profile:
+    """Profile one named workload and return the full observation.
+
+    ``backend`` accepts anything ``Machine(backend=...)`` does; ``model``
+    / ``n`` / ``seed`` / ``num_processors`` parameterize the run.  Step
+    totals depend only on (algorithm, model, n, seed, num_processors) —
+    never on the backend — which is the invariant the baseline harness
+    asserts.
+    """
+    from ..machine import Machine
+
+    workload = WORKLOADS.get(algorithm)
+    if workload is None:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of "
+            f"{available_algorithms()}")
+    size = n if n is not None else workload.default_n
+    machine = Machine(model, seed=seed, backend=backend,
+                      num_processors=num_processors,
+                      **workload.machine_kwargs)
+    rng = np.random.default_rng(seed)
+    before = _registry.snapshot()
+    profiler = Profiler()
+    profiler.attach(machine)
+    try:
+        workload.run(machine, size, rng)
+    finally:
+        profiler.detach()
+    after = _registry.snapshot()
+    snap = machine.snapshot()
+    return Profile(
+        algorithm=algorithm,
+        model=model,
+        backend=machine.backend.name,
+        n=size,
+        seed=seed,
+        steps=snap.steps,
+        ops=snap.ops,
+        by_kind=dict(sorted(snap.by_kind.items())),
+        wall_seconds=profiler.root.wall_seconds,
+        root=profiler.root,
+        metrics=_metrics_delta(before, after),
+    )

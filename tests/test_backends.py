@@ -79,9 +79,16 @@ class TestSelection:
         monkeypatch.delenv(BACKEND_ENV_VAR)
         assert isinstance(Machine("scan").backend, NumPyBackend)
 
-    def test_repr_shows_non_default_backend_only(self):
-        assert "backend" not in repr(Machine("scan", backend="numpy"))
-        assert "blocked" in repr(Machine("scan", backend="blocked"))
+    def test_repr_and_snapshot_identify_the_backend(self):
+        # every repr / snapshot names the engine that produced its numbers,
+        # so a profile report or failure message is never ambiguous
+        assert "backend='numpy'" in repr(Machine("scan", backend="numpy"))
+        assert "backend='blocked'" in repr(Machine("scan", backend="blocked"))
+        assert Machine("scan", backend="reference").snapshot().backend == "reference"
+        m = Machine("scan", backend="blocked")
+        with m.measure() as r:
+            scans.plus_scan(m.vector(range(8)))
+        assert r.delta.backend == "blocked"  # deltas keep the stamp
 
     def test_backend_is_abstract(self):
         with pytest.raises(TypeError):
@@ -276,6 +283,74 @@ def test_blocked_chunk_size_never_changes_results(values, chunk):
             mm.vector(values), mm.flags(sf)).to_list(),
     ):
         assert fn(m_np) == fn(m_bl)
+
+
+# --------------------------------------------------------------------- #
+# Cost transparency: observation never changes what it observes
+# --------------------------------------------------------------------- #
+
+def _run_program_observed(backend_spec, values, program):
+    """``_run_program`` with a Profiler attached and a span per op."""
+    from repro.observe import Profiler, span
+
+    m = Machine("scan", backend=backend_spec, allow_concurrent_write=True)
+    profiler = Profiler()
+    profiler.attach(m)
+    try:
+        v = m.vector(np.asarray(values, dtype=np.int64))
+        trace = []
+        for i, op in enumerate(program):
+            with span(f"op[{i}]:{op}"):
+                v = _apply(m, v, op)
+            trace.append(v.to_list())
+    finally:
+        profiler.detach()
+    return (trace, m.steps, dict(m.counter.by_kind)), profiler
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    values=st.lists(st.integers(-10**6, 10**6), max_size=30),
+    program=st.lists(st.sampled_from(PROGRAM_OPS), max_size=6),
+)
+def test_observed_programs_bit_identical(values, program):
+    """Attaching spans/metrics is free in the cost model: the observed run
+    returns the same bits and charges the same steps as the bare run, on
+    every backend — and the profiler's own ledger agrees with the
+    machine's."""
+    for spec in BACKEND_SPECS:
+        bare = _run_program(spec, values, program)
+        observed, profiler = _run_program_observed(spec, values, program)
+        assert observed == bare, spec
+        assert profiler.total_steps == bare[1], spec
+        assert dict(profiler.by_kind()) == bare[2], spec
+        # each program op got its own child span under the root
+        assert len(profiler.root.children) == len(program), spec
+
+
+@pytest.mark.parametrize("spec", BACKEND_SPECS)
+def test_profiler_is_transparent_for_a_real_algorithm(spec):
+    """End to end on the paper's radix sort: profiled and unprofiled runs
+    are step- and bit-identical (the acceptance invariant behind the
+    golden-baseline harness)."""
+    from repro.algorithms import split_radix_sort
+    from repro.observe import Profiler
+
+    data = np.arange(64)[::-1] % 256
+
+    def run(observe):
+        m = Machine("scan", backend=spec)
+        profiler = Profiler()
+        if observe:
+            profiler.attach(m)
+        try:
+            out = split_radix_sort(m.vector(data), number_of_bits=8)
+        finally:
+            if observe:
+                profiler.detach()
+        return out.to_list(), m.steps, dict(m.counter.by_kind)
+
+    assert run(observe=True) == run(observe=False)
 
 
 # --------------------------------------------------------------------- #

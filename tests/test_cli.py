@@ -37,6 +37,48 @@ class TestInProcess:
         for model in ("erew", "crcw", "scan"):
             assert model in out
 
+    def test_profile_table_export(self, capsys):
+        assert main(["profile", "radix_sort"]) == 0
+        out = capsys.readouterr().out
+        assert "radix_sort" in out
+        assert "88 steps" in out or "steps" in out
+        assert "bit[0]" in out  # the span tree is rendered
+
+    def test_profile_chrome_export_is_valid_trace_json(self, capsys):
+        """Acceptance: `repro profile radix_sort --backend numpy --export
+        chrome` emits a valid Chrome Trace Event JSON document."""
+        import json
+
+        assert main(["profile", "radix_sort", "--backend", "numpy",
+                     "--export", "chrome"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        events = doc["traceEvents"]
+        assert isinstance(events, list) and events
+        complete = [e for e in events if e["ph"] == "X"]
+        assert complete, "expected at least one complete ('X') event"
+        for e in complete:
+            assert {"name", "ph", "ts", "dur", "pid", "tid"} <= e.keys()
+        names = {e["name"] for e in complete}
+        assert "sort" in names and "bit[0]" in names
+        root = next(e for e in complete if e["name"] == "(root)")
+        assert root["args"]["steps"] == 88
+
+    def test_profile_json_export_to_file(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "profile.json"
+        assert main(["profile", "list_ranking", "--export", "json",
+                     "-o", str(out_file)]) == 0
+        summary = capsys.readouterr().out
+        assert str(out_file) in summary
+        doc = json.loads(out_file.read_text())
+        assert doc["algorithm"] == "list_ranking"
+        assert doc["steps"] == 30
+
+    def test_profile_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "nonesuch"])
+
     def test_requires_a_command(self):
         with pytest.raises(SystemExit):
             main([])

@@ -83,3 +83,101 @@ class TestTrace:
             scans.plus_scan(m.vector(range(256)))
         assert t.events[0].cost == 16  # 2 lg 256
         assert t.events[0].kind == "scan"
+
+
+class TestTraceEdgeCases:
+    """Lock-in tests for the legacy surface: the back-compat shim over
+    :mod:`repro.observe` must preserve every one of these behaviors."""
+
+    def test_empty_report(self):
+        m = Machine("scan")
+        with trace(m) as t:
+            pass
+        assert t.events == []
+        assert t.total_steps == 0
+        assert t.by_kind() == {}
+        assert t.by_phase() == {}
+        assert t.phase_kind_matrix() == {}
+        rep = t.report()
+        assert "total: 0 steps in 0" in rep  # no ZeroDivisionError
+
+    def test_machine_reset_during_open_phase(self):
+        # resetting the machine zeroes its counters but never rewrites
+        # history: events already recorded stay, the phase stays open,
+        # and later charges keep landing under it
+        m = Machine("scan")
+        with trace(m) as t:
+            with t.phase("work"):
+                scans.plus_scan(m.vector(range(8)))
+                m.reset()
+                assert t.total_steps == 1
+                scans.plus_scan(m.vector(range(8)))
+        assert m.steps == 1          # only the post-reset charge
+        assert t.total_steps == 2    # the trace saw both
+        assert t.by_phase() == {"work": 2}
+
+    def test_deeply_nested_phases_unwind_in_order(self):
+        m = Machine("scan")
+        with trace(m) as t:
+            with t.phase("a"):
+                with t.phase("b"):
+                    with t.phase("c"):
+                        scans.plus_scan(m.vector(range(4)))
+                    assert t.current_phase == "b"
+                    scans.plus_scan(m.vector(range(4)))
+                assert t.current_phase == "a"
+            assert t.current_phase == "(untagged)"
+        assert t.by_phase() == {"c": 1, "b": 1}
+
+    def test_same_phase_name_reentered_accumulates(self):
+        m = Machine("scan")
+        with trace(m) as t:
+            for _ in range(3):
+                with t.phase("loop"):
+                    scans.plus_scan(m.vector(range(4)))
+        assert t.by_phase() == {"loop": 3}
+        assert len(t.events) == 3
+
+    def test_phase_exited_on_exception(self):
+        m = Machine("scan")
+        with trace(m) as t:
+            with pytest.raises(RuntimeError):
+                with t.phase("doomed"):
+                    raise RuntimeError("boom")
+            scans.plus_scan(m.vector(range(4)))
+        assert t.by_phase() == {"(untagged)": 1}
+
+    def test_trace_detaches_on_exception(self):
+        m = Machine("scan")
+        with pytest.raises(RuntimeError):
+            with trace(m):
+                raise RuntimeError("boom")
+        assert not m.counter.listeners
+
+    def test_zero_cost_charges_are_recorded_as_ops(self):
+        m = Machine("scan")
+        with trace(m) as t:
+            scans.plus_scan(m.vector([]))  # n = 0 charges 0 steps
+        assert t.total_steps == 0
+        assert len(t.events) == 1
+        assert t.events[0] == type(t.events[0])(kind="scan", cost=0,
+                                                phase="(untagged)")
+
+    def test_phase_kind_matrix_shape(self):
+        m = Machine("scan")
+        with trace(m) as t:
+            with t.phase("p"):
+                v = m.vector(range(8))
+                _ = v + 1
+                scans.plus_scan(v)
+        assert t.phase_kind_matrix() == {"p": {"elementwise": 1, "scan": 1}}
+
+    def test_report_orders_phases_by_steps_descending(self):
+        m = Machine("erew")
+        with trace(m) as t:
+            with t.phase("cheap"):
+                scans.plus_scan(m.vector(range(4)))
+            with t.phase("dear"):
+                scans.plus_scan(m.vector(range(256)))
+        rep = t.report()
+        assert rep.index("dear") < rep.index("cheap")
