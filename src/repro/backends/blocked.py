@@ -29,7 +29,8 @@ from typing import Callable, Iterator
 import numpy as np
 
 from .base import Backend
-from .numpy_backend import NumPyBackend, _seg_running_extreme
+from .numpy_backend import (NumPyBackend, _exclusive_cumsum,
+                            _seg_running_extreme)
 
 __all__ = ["BlockedBackend"]
 
@@ -113,7 +114,9 @@ class BlockedBackend(Backend):
             out[s] = carry
             np.maximum.accumulate(seg[:-1], out=out[s + 1:e])
             np.maximum(out[s + 1:e], carry, out=out[s + 1:e])
-            carry = max(carry, seg.max()) if len(seg) else carry
+            # np.maximum, not Python max: the carry must propagate NaN
+            # exactly as the within-chunk np.maximum.accumulate does
+            carry = np.maximum(carry, seg.max()) if len(seg) else carry
         return out
 
     # ------------------------- communication -------------------------- #
@@ -207,7 +210,7 @@ class BlockedBackend(Backend):
     def seg_plus_scan(self, values: np.ndarray,
                       seg_flags: np.ndarray) -> np.ndarray:
         if len(values) == 0:
-            return np.concatenate(([0], values)).astype(values.dtype)
+            return values.copy()
         out = np.empty_like(values)
         carry = values.dtype.type(0)  # sum since the open segment's head
         with np.errstate(over="ignore"):  # modular carries wrap by design
@@ -216,7 +219,7 @@ class BlockedBackend(Backend):
     def _seg_plus_chunks(self, values, seg_flags, out, carry):
         for s, e in self._spans(len(values)):
             seg, sfc = values[s:e], seg_flags[s:e]
-            ex = np.concatenate(([0], np.cumsum(seg)[:-1])).astype(values.dtype)
+            ex = _exclusive_cumsum(seg)
             local = np.cumsum(sfc)  # 0 on the run continuing the open segment
             heads = np.flatnonzero(sfc)
             # offsets[i]: what local segment i subtracts from the chunk-local

@@ -20,6 +20,23 @@ def _seg_ids(sf: np.ndarray) -> np.ndarray:
     return np.cumsum(sf) - 1
 
 
+def _exclusive_cumsum(values: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sums **in the input's dtype** (narrow ints wrap).
+
+    ``np.concatenate(([0], cumsum))`` would be wrong here: ``np.cumsum``
+    promotes unsigned inputs to uint64, concatenating that with the int64
+    ``[0]`` promotes everything to float64, and a float -> unsigned cast of
+    an out-of-range value is undefined behavior (it yields 0 on x86).
+    Building the array in the cumsum's own dtype keeps every cast
+    integer-to-integer, which wraps modulo ``2**width`` as documented.
+    """
+    cs = np.cumsum(values)
+    ex = np.empty(len(values), dtype=cs.dtype)
+    ex[0] = 0
+    ex[1:] = cs[:-1]
+    return ex.astype(values.dtype, copy=False)
+
+
 def _seg_running_extreme(v: np.ndarray, sf: np.ndarray, identity, *,
                          is_max: bool) -> np.ndarray:
     """Exclusive per-segment running max (or min) via the Figure 16 method:
@@ -170,9 +187,9 @@ class NumPyBackend(Backend):
 
     def seg_plus_scan(self, values: np.ndarray,
                       seg_flags: np.ndarray) -> np.ndarray:
-        ex = np.concatenate(([0], np.cumsum(values)[:-1])).astype(values.dtype)
         if len(values) == 0:
-            return ex
+            return values.copy()
+        ex = _exclusive_cumsum(values)
         s = _seg_ids(seg_flags)
         head_offsets = ex[np.flatnonzero(seg_flags)]
         return ex - head_offsets[s]

@@ -73,7 +73,9 @@ class ReferenceBackend(Backend):
         acc = np.asarray(identity, dtype=values.dtype)[()]
         for i in range(len(values)):
             out[i] = acc
-            acc = max(acc, values[i])
+            # np.maximum, not Python max: NaN must propagate exactly as
+            # np.maximum.accumulate does on the vectorized backend
+            acc = np.maximum(acc, values[i])
         return out
 
     # ------------------------- communication -------------------------- #
@@ -109,9 +111,9 @@ class ReferenceBackend(Backend):
             if not touched[j]:
                 out[j] = values[i]
             elif op == "min":
-                out[j] = min(out[j], values[i])
+                out[j] = np.minimum(out[j], values[i])
             elif op == "max":
-                out[j] = max(out[j], values[i])
+                out[j] = np.maximum(out[j], values[i])
             else:  # "any": last writer wins
                 out[j] = values[i]
             touched[j] = True
@@ -143,9 +145,13 @@ class ReferenceBackend(Backend):
     # ------------------------ broadcast / reduce ----------------------- #
 
     def full(self, length: int, value, dtype) -> np.ndarray:
+        # pre-wrap the fill into the target dtype: np.full casts unsafely
+        # (a promoted sum wraps back into a narrow lane), while NumPy 2
+        # element assignment raises OverflowError on out-of-range scalars
+        fill = np.asarray(value).astype(dtype, copy=False)[()]
         out = np.empty(length, dtype=dtype)
         for i in range(length):
-            out[i] = value
+            out[i] = fill
         return out
 
     def reduce(self, values: np.ndarray, op: str):
@@ -179,9 +185,9 @@ class ReferenceBackend(Backend):
         acc = values[0]
         for i in range(1, len(values)):
             if op == "max":
-                acc = max(acc, values[i])
+                acc = np.maximum(acc, values[i])  # NaN-propagating, like np.max
             elif op == "min":
-                acc = min(acc, values[i])
+                acc = np.minimum(acc, values[i])
             else:
                 raise ValueError(f"unknown reduce op {op!r}")
         return acc
@@ -200,7 +206,7 @@ class ReferenceBackend(Backend):
     def seg_plus_scan(self, values: np.ndarray,
                       seg_flags: np.ndarray) -> np.ndarray:
         if len(values) == 0:
-            return np.concatenate(([0], values)).astype(values.dtype)
+            return values.copy()
         out = np.empty_like(values)
         acc = values.dtype.type(0)
         with np.errstate(over="ignore"):
@@ -221,7 +227,8 @@ class ReferenceBackend(Backend):
                 acc, fresh = ident, True
             out[i] = acc if not fresh else ident
             acc = values[i] if fresh else (
-                max(acc, values[i]) if is_max else min(acc, values[i]))
+                np.maximum(acc, values[i]) if is_max
+                else np.minimum(acc, values[i]))
             fresh = False
         return out
 
@@ -253,7 +260,10 @@ class ReferenceBackend(Backend):
         start = 0
         for i in range(1, len(values) + 1):
             if i == len(values) or seg_flags[i]:
-                r = self.reduce(values[start:i], red)
+                # wrap the (possibly promoted) reduction back into the
+                # lane dtype, as the vectorized backends' casts do
+                r = np.asarray(self.reduce(values[start:i], red)).astype(
+                    values.dtype, copy=False)[()]
                 for j in range(start, i):
                     out[j] = r
                 start = i

@@ -11,6 +11,7 @@
     python -m repro backends            # execution backends + self-check
     python -m repro profile radix_sort  # spans/steps/bytes profile
     python -m repro profile mst --backend blocked --export chrome
+    python -m repro verify --seed 0 --cases 500   # differential fuzz
 
 The heavyweight regeneration (wall-clock timing included) lives in
 ``pytest benchmarks/ --benchmark-only``; this CLI prints the step/cycle
@@ -228,6 +229,75 @@ def _backends(args) -> None:
         raise SystemExit("blocked:4 failed its self-check")
 
 
+def _verify(args) -> int:
+    import json
+
+    from .verify import (DEFAULT_ENGINES, ConformanceReport, generate_cases,
+                         load_corpus, run_cases, shrink)
+
+    engines = (tuple(e for e in args.backends.split(",") if e)
+               if args.backends else DEFAULT_ENGINES)
+    ops = [o for o in args.ops.split(",") if o] if args.ops else None
+    dtypes = [d for d in args.dtypes.split(",") if d] if args.dtypes else None
+
+    cases = []
+    if not args.no_corpus:
+        replay = load_corpus(args.corpus_dir)
+        if replay:
+            print(f"replaying {len(replay)} committed corpus case(s)")
+        cases.extend(replay)
+    cases.extend(generate_cases(seed=args.seed, count=args.cases,
+                                ops=ops, dtypes=dtypes))
+
+    report = ConformanceReport(engines=engines)
+    report.record_all(run_cases(cases, engines))
+
+    if args.export == "json":
+        text = json.dumps(report.to_json_dict(), indent=2)
+    else:
+        text = report.render_table()
+    if args.output:
+        import pathlib
+
+        pathlib.Path(args.output).write_text(text + "\n")
+        print(f"verify(seed={args.seed}, cases={args.cases}): "
+              f"{report.total_cases} run, {report.total_failures} divergent; "
+              f"{args.export} written to {args.output}")
+    else:
+        print(text)
+
+    if report.ok:
+        return 0
+
+    # shrink each divergent case to its minimal witness before reporting
+    divergent = []
+    seen = set()
+    for d in report.divergences:
+        key = d.case.to_json()
+        if key not in seen:
+            seen.add(key)
+            divergent.append(d.case)
+    print(f"\nshrinking {len(divergent)} divergent case(s):")
+    shrunken = []
+    for case in divergent:
+        small = shrink(case, engines)
+        shrunken.append(small)
+        print(f"  {small.describe()}")
+    if args.artifact:
+        import pathlib
+
+        payload = {
+            "seed": args.seed,
+            "engines": list(engines),
+            "report": report.to_json_dict(),
+            "counterexamples": [c.to_json_dict() for c in shrunken],
+        }
+        pathlib.Path(args.artifact).write_text(
+            json.dumps(payload, indent=2) + "\n")
+        print(f"counterexample artifact written to {args.artifact}")
+    return 1
+
+
 def _profile(args) -> None:
     import json
 
@@ -308,6 +378,32 @@ def main(argv: list[str] | None = None) -> int:
                     help="write the export to a file instead of stdout")
     pp.set_defaults(func=_profile)
 
+    pv = sub.add_parser(
+        "verify",
+        help="differential conformance fuzz: every op x dtype x backend "
+             "against the serial oracle")
+    pv.add_argument("--seed", type=int, default=0)
+    pv.add_argument("--cases", type=int, default=500,
+                    help="generated cases (on top of the committed corpus)")
+    pv.add_argument("--ops", default=None,
+                    help="comma-separated op names (default: all)")
+    pv.add_argument("--dtypes", default=None,
+                    help="comma-separated dtypes (default: each op's grid)")
+    pv.add_argument("--backends", default=None,
+                    help="comma-separated engines "
+                         f"(default: {','.join(('numpy', 'blocked', 'blocked:7', 'reference'))})")
+    pv.add_argument("--no-corpus", action="store_true",
+                    help="skip replaying tests/corpus/verify/")
+    pv.add_argument("--corpus-dir", default=None,
+                    help="replay corpus from this directory instead")
+    pv.add_argument("--export", default="table", choices=["table", "json"])
+    pv.add_argument("-o", "--output", default=None,
+                    help="write the export to a file instead of stdout")
+    pv.add_argument("--artifact", default=None,
+                    help="on divergence, write shrunken counterexamples "
+                         "to this JSON file (CI uploads it)")
+    pv.set_defaults(func=_verify)
+
     pf = sub.add_parser("faults",
                         help="fault injection: detect / mask / degrade")
     pf.add_argument("mode", nargs="?", choices=["demo", "campaign"],
@@ -321,14 +417,14 @@ def main(argv: list[str] | None = None) -> int:
 
     args = parser.parse_args(argv)
     try:
-        args.func(args)
+        rc = args.func(args)
     except BrokenPipeError:  # e.g. `python -m repro table4 | head`
         try:
             sys.stdout.close()
         except Exception:
             pass
         return 0
-    return 0
+    return int(rc or 0)
 
 
 if __name__ == "__main__":  # pragma: no cover

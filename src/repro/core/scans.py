@@ -95,6 +95,13 @@ def plus_scan(v: Vector) -> Vector:
     """Exclusive ``+-scan``: ``out[i] = v[0] + ... + v[i-1]``, ``out[0] = 0``.
 
     One of the two primitive scans; one program step.
+
+    Sums accumulate **in the vector's own dtype**: on narrow integer
+    dtypes partial sums wrap modulo ``2**width`` exactly as the fixed-width
+    adders of the paper's Section 3 hardware would, and because modular
+    addition is associative the result is bit-identical on every execution
+    backend (see ``docs/verification.md``).  Boolean vectors are widened to
+    int64 first, so a ``+-scan`` of flags counts rather than ORs.
     """
     if _checked_dispatch(v):
         from ..faults.checked import reliable_plus_scan
@@ -131,27 +138,56 @@ def max_scan(v: Vector, identity=None) -> Vector:
 # Derived scans (Section 3.4 compositions — costs flow through primitives)
 # --------------------------------------------------------------------- #
 
+def _reversing_key(v: Vector) -> Vector:
+    """An order-reversing involution that is total on ``v``'s dtype:
+    bitwise NOT for integers (``x -> -x - 1`` signed, ``max - x``
+    unsigned), logical NOT for bool, negation for floats.  Plain negation
+    is *not* total on machine integers — ``-iinfo.min`` overflows back to
+    itself for signed dtypes and wraps for unsigned ones — so ``min-scan``
+    keys through NOT instead.  One elementwise step, same as negation."""
+    if v.dtype == np.bool_ or np.issubdtype(v.dtype, np.integer):
+        return ~v
+    return -v
+
+
+def _reversing_key_scalar(x, dtype):
+    """:func:`_reversing_key` applied to one scalar of ``dtype``."""
+    dtype = np.dtype(dtype)
+    if dtype == np.bool_:
+        return not x
+    if np.issubdtype(dtype, np.integer):
+        return np.bitwise_not(np.asarray(x, dtype=dtype))[()]
+    return -np.asarray(x, dtype=dtype)[()]
+
+
+def _one_bit(v: Vector) -> Vector:
+    """``v`` coerced to {0, 1} int64 by a nonzero test — the bit vector the
+    Section 3.4 one-bit scans operate on.  A plain ``astype(int64)`` is not
+    enough: negative integers would stay negative and NaN has no integer
+    value, while the nonzero test is total.  One elementwise step."""
+    return v._unary(lambda a: (a != 0).astype(np.int64))
+
+
 def min_scan(v: Vector, identity=None) -> Vector:
-    """Exclusive ``min-scan``, built as ``-max-scan(-v)`` (Section 3.4)."""
+    """Exclusive ``min-scan``, built as ``inv(max-scan(inv(v)))``
+    (Section 3.4) where ``inv`` is the order-reversing key transform of
+    :func:`_reversing_key` — total on every dtype, unlike negation."""
     if identity is None:
         identity = min_identity(v.dtype)
-    neg = -v
-    scanned = max_scan(neg, identity=-np.asarray(identity, dtype=v.dtype)
-                       if v.dtype != np.bool_ else not identity)
-    return -scanned
+    scanned = max_scan(_reversing_key(v),
+                       identity=_reversing_key_scalar(identity, v.dtype))
+    return _reversing_key(scanned)
 
 
 def or_scan(v: Vector) -> Vector:
     """Exclusive ``or-scan``: a one-bit ``max-scan`` (Section 3.4)."""
-    as_int = v.astype(np.int64)
-    scanned = max_scan(as_int, identity=0)
+    scanned = max_scan(_one_bit(v), identity=0)
     return scanned > 0
 
 
 def and_scan(v: Vector) -> Vector:
     """Exclusive ``and-scan``: a one-bit ``min-scan`` (Section 3.4)."""
-    as_int = v.astype(np.int64)
-    scanned = min_scan(as_int, identity=1)
+    scanned = min_scan(_one_bit(v), identity=1)
     return scanned > 0
 
 

@@ -28,7 +28,9 @@ from . import scans
 from .vector import Vector
 
 __all__ = [
+    "SegmentError",
     "check_segment_flags",
+    "check_flags_only",
     "segment_ids",
     "segment_heads",
     "segment_lengths",
@@ -60,19 +62,40 @@ __all__ = [
 # Structure helpers
 # --------------------------------------------------------------------- #
 
+class SegmentError(ValueError, TypeError):
+    """A segment descriptor violated its invariants: flags not boolean, a
+    length mismatch with the values, or a first element that does not begin
+    a segment.  Every segmented entry point raises this one type (it
+    subclasses both ``ValueError`` and ``TypeError``, so pre-existing
+    handlers of either keep working)."""
+
+
 def check_segment_flags(values: Vector, seg_flags: Vector) -> None:
     """Validate a (values, segment-flags) pair: same machine, same length,
-    boolean flags, and the first element starts a segment."""
+    boolean flags, and the first element starts a segment.  Violations
+    raise :class:`SegmentError`; every segmented entry point calls this
+    (or :func:`check_flags_only` when there is no values vector) before
+    charging any steps."""
     if seg_flags.machine is not values.machine:
-        raise ValueError("values and segment flags live on different machines")
+        raise SegmentError("values and segment flags live on different machines")
     if len(seg_flags) != len(values):
-        raise ValueError(
+        raise SegmentError(
             f"segment flags length {len(seg_flags)} != values length {len(values)}"
         )
+    _check_flag_invariants(seg_flags)
+
+
+def check_flags_only(seg_flags: Vector) -> None:
+    """Validate a bare segment-flag vector (entry points like
+    :func:`segment_ids` that take no values vector)."""
+    _check_flag_invariants(seg_flags)
+
+
+def _check_flag_invariants(seg_flags: Vector) -> None:
     if seg_flags.dtype != np.bool_:
-        raise TypeError("segment flags must be boolean")
+        raise SegmentError("segment flags must be boolean")
     if len(seg_flags) and not seg_flags.data[0]:
-        raise ValueError("the first element must begin a segment (flags[0] is False)")
+        raise SegmentError("the first element must begin a segment (flags[0] is False)")
 
 
 def _charge(machine: Machine, n: int, *, n_scans: int, n_ew: int) -> None:
@@ -112,6 +135,7 @@ def _charge_copy(machine: Machine, n: int) -> None:
 
 def segment_ids(seg_flags: Vector) -> Vector:
     """The segment number of each element (one scan + one elementwise step)."""
+    check_flags_only(seg_flags)
     m = seg_flags.machine
     _charge(m, len(seg_flags), n_scans=1, n_ew=1)
     return Vector._adopt(m, m.execute("segment_ids", seg_flags.data))
@@ -119,11 +143,13 @@ def segment_ids(seg_flags: Vector) -> Vector:
 
 def segment_heads(seg_flags: Vector) -> np.ndarray:
     """Indices of segment heads (host-side helper; no steps charged)."""
+    check_flags_only(seg_flags)
     return np.flatnonzero(seg_flags.data)
 
 
 def segment_lengths(seg_flags: Vector) -> np.ndarray:
     """Length of each segment (host-side helper; no steps charged)."""
+    check_flags_only(seg_flags)
     heads = np.flatnonzero(seg_flags.data)
     return np.diff(np.append(heads, len(seg_flags)))
 
@@ -198,13 +224,15 @@ def seg_min_scan(values: Vector, seg_flags: Vector, identity=None) -> Vector:
 
 def seg_or_scan(values: Vector, seg_flags: Vector) -> Vector:
     """Segmented exclusive ``or-scan`` (one-bit segmented ``max-scan``)."""
-    v = values.astype(np.int64)
+    check_segment_flags(values, seg_flags)
+    v = scans._one_bit(values)
     return seg_max_scan(v, seg_flags, identity=0) > 0
 
 
 def seg_and_scan(values: Vector, seg_flags: Vector) -> Vector:
     """Segmented exclusive ``and-scan`` (one-bit segmented ``min-scan``)."""
-    v = values.astype(np.int64)
+    check_segment_flags(values, seg_flags)
+    v = scans._one_bit(values)
     return seg_min_scan(v, seg_flags, identity=1) > 0
 
 
@@ -286,12 +314,14 @@ def seg_back_copy(values: Vector, seg_flags: Vector) -> Vector:
 def seg_enumerate(flags: Vector, seg_flags: Vector) -> Vector:
     """Number the ``True`` elements within each segment, starting at 0
     (segmented version of Figure 1's ``enumerate``)."""
+    check_segment_flags(flags, seg_flags)
     return seg_plus_scan(flags.astype(np.int64), seg_flags)
 
 
 def seg_index(seg_flags: Vector) -> Vector:
     """Each element's offset within its segment (a segmented ``+-scan`` of
     all ones)."""
+    check_flags_only(seg_flags)
     ones = Vector._adopt(seg_flags.machine,
                          np.ones(len(seg_flags), dtype=np.int64))
     seg_flags.machine.charge_elementwise(len(seg_flags))

@@ -368,7 +368,10 @@ class Machine:
         from ..core.vector import Vector
 
         arr = np.asarray(data, dtype=dtype)
-        if dtype is None and arr.size == 0 and arr.dtype == np.float64:
+        if (dtype is None and arr.size == 0 and arr.dtype == np.float64
+                and not isinstance(data, np.ndarray)):
+            # only the [] literal gets the int64 default: an actual empty
+            # float64 array keeps its dtype (identities depend on it)
             arr = arr.astype(np.int64)
         if arr is data:  # the caller's own array: defensive copy
             return Vector(self, arr)

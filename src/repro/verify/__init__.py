@@ -1,0 +1,41 @@
+"""Cross-backend differential conformance fuzzing (``repro.verify``).
+
+The trust story for the execution backends: generate seeded, adversarial
+inputs (:mod:`.corpus`), run every exported operation on every backend
+(:mod:`.runner`, engines from :data:`~repro.verify.runner.DEFAULT_ENGINES`)
+against a pure-serial oracle (:mod:`.oracle`), demand bit-identical
+results and identical step charges, shrink anything that diverges to a
+minimal counterexample (:mod:`.shrink`), and report the per-op ×
+per-dtype pass matrix (:mod:`.report`).  ``python -m repro verify`` is
+the CLI face; shrunken counterexamples live in ``tests/corpus/verify/``
+and are replayed by the test suite and CI forever after.
+
+See ``docs/verification.md`` for the comparison contract (when "equal"
+means bit-equal vs. NaN-aware vs. tolerance) and the bug crop this
+fuzzer surfaced.
+"""
+from .corpus import CORPUS_DIR, Case, Materialized, generate_cases, load_corpus
+from .opset import DTYPES_FULL, OPS, OpSpec
+from .report import ConformanceReport
+from .runner import (DEFAULT_ENGINES, CaseOutcome, Divergence, results_equal,
+                     run_case, run_cases)
+from .shrink import shrink
+
+__all__ = [
+    "CORPUS_DIR",
+    "Case",
+    "Materialized",
+    "generate_cases",
+    "load_corpus",
+    "OPS",
+    "OpSpec",
+    "DTYPES_FULL",
+    "ConformanceReport",
+    "DEFAULT_ENGINES",
+    "CaseOutcome",
+    "Divergence",
+    "results_equal",
+    "run_case",
+    "run_cases",
+    "shrink",
+]

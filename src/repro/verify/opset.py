@@ -1,0 +1,176 @@
+"""The operation registry: every exported operation the fuzzer covers.
+
+One :class:`OpSpec` per public operation of :mod:`repro.core.scans` and
+:mod:`repro.core.segmented` — the two primitive scans, every derived and
+backward scan, the reduces and distributes, and the full segmented
+surface.  A spec bundles how to *run* the operation on a machine (``run``)
+with what it *means* (``oracle``, a serial loop from
+:mod:`repro.verify.oracle`) and the shape of its inputs, so the runner and
+the corpus generator never special-case operation names.
+
+Dtype grids:
+
+* most operations run over the full adversarial grid — signed and
+  unsigned, narrow and wide, bool, float64;
+* ``segment_ids`` / ``seg_index`` / ``seg_enumerate`` take flag vectors by
+  contract, so they fuzz over ``bool`` only;
+* the four segmented extreme scans exclude NaN (``nan_ok=False``): their
+  rank-encoding construction orders NaN like a largest value, which is a
+  *documented* departure from NaN-propagating sequential semantics, not a
+  conformance bug (see ``docs/verification.md``).
+
+``additive=True`` marks the +-family: on floats their result depends on
+association, so the blocked backend's chunked partial sums differ from the
+whole-vector ``cumsum`` in the last ulp.  The runner compares those with a
+tight tolerance instead of bit equality; integer sums wrap modulo
+``2**width`` and stay exact everywhere.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core import scans, segmented
+from . import oracle as _oracle
+from .corpus import Materialized
+
+__all__ = ["OpSpec", "OPS", "DTYPES_FULL"]
+
+#: the full adversarial dtype grid
+DTYPES_FULL = ("int8", "int16", "uint8", "uint32", "int64", "bool",
+               "float64")
+_BOOL_ONLY = ("bool",)
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """How to run, check, and generate inputs for one exported operation."""
+
+    name: str
+    family: str                  #: "scan" | "reduce" | "distribute" | "segmented"
+    run: Callable                #: (Machine, Materialized) -> ndarray | scalar
+    oracle: Callable             #: (Materialized) -> ndarray | scalar
+    dtypes: tuple
+    segmented: bool = False      #: needs a segment layout
+    n_flags: int = 0             #: auxiliary boolean vectors (seg_split...)
+    nan_ok: bool = True          #: NaN admitted in generated float values
+    additive: bool = False       #: float results compared with tolerance
+
+
+OPS: dict[str, OpSpec] = {}
+
+
+def _register(spec: OpSpec) -> None:
+    if spec.name in OPS:
+        raise ValueError(f"duplicate op {spec.name!r}")
+    OPS[spec.name] = spec
+
+
+def _plain(fn):
+    """Run an unsegmented vector->vector operation."""
+    def run(m, mat: Materialized):
+        return fn(m.vector(mat.values)).data
+    return run
+
+
+def _plain_scalar(fn):
+    """Run an unsegmented vector->scalar operation (the reduces)."""
+    def run(m, mat: Materialized):
+        return fn(m.vector(mat.values))
+    return run
+
+
+def _seg(fn):
+    """Run a (values, seg_flags) operation."""
+    def run(m, mat: Materialized):
+        return fn(m.vector(mat.values), m.vector(mat.seg_flags)).data
+    return run
+
+
+def _flags_only(fn):
+    """Run an operation taking only the segment-flag vector."""
+    def run(m, mat: Materialized):
+        return fn(m.vector(mat.seg_flags)).data
+    return run
+
+
+def _seg_split(m, mat: Materialized):
+    return segmented.seg_split(m.vector(mat.values), m.vector(mat.flags),
+                               m.vector(mat.seg_flags)).data
+
+
+def _seg_split3(m, mat: Materialized):
+    return segmented.seg_split3(m.vector(mat.values), m.vector(mat.flags),
+                                m.vector(mat.flags2),
+                                m.vector(mat.seg_flags)).data
+
+
+def _orc(name: str) -> Callable:
+    return _oracle.ORACLES[name]
+
+
+# ----------------------------- scans --------------------------------- #
+
+for _name, _additive in [("plus_scan", True), ("max_scan", False),
+                         ("min_scan", False), ("or_scan", False),
+                         ("and_scan", False), ("back_plus_scan", True),
+                         ("back_max_scan", False), ("back_min_scan", False),
+                         ("back_or_scan", False), ("back_and_scan", False)]:
+    _register(OpSpec(name=_name, family="scan",
+                     run=_plain(getattr(scans, _name)), oracle=_orc(_name),
+                     dtypes=DTYPES_FULL, additive=_additive))
+
+# ---------------------- reduces and distributes ----------------------- #
+
+for _kind in ("plus", "max", "min", "or", "and"):
+    _register(OpSpec(name=f"{_kind}_reduce", family="reduce",
+                     run=_plain_scalar(getattr(scans, f"{_kind}_reduce")),
+                     oracle=_orc(f"{_kind}_reduce"),
+                     dtypes=DTYPES_FULL, additive=(_kind == "plus")))
+    _register(OpSpec(name=f"{_kind}_distribute", family="distribute",
+                     run=_plain(getattr(scans, f"{_kind}_distribute")),
+                     oracle=_orc(f"{_kind}_distribute"),
+                     dtypes=DTYPES_FULL, additive=(_kind == "plus")))
+
+# --------------------------- segmented -------------------------------- #
+
+for _name in ("segment_ids", "seg_index"):
+    _register(OpSpec(name=_name, family="segmented",
+                     run=_flags_only(getattr(segmented, _name)),
+                     oracle=_orc(_name), dtypes=_BOOL_ONLY, segmented=True))
+
+_register(OpSpec(name="seg_enumerate", family="segmented",
+                 run=_seg(segmented.seg_enumerate),
+                 oracle=_orc("seg_enumerate"),
+                 dtypes=_BOOL_ONLY, segmented=True))
+
+for _name, _nan_ok, _additive in [
+    ("seg_plus_scan", True, True),
+    ("seg_max_scan", False, False),
+    ("seg_min_scan", False, False),
+    ("seg_or_scan", True, False),
+    ("seg_and_scan", True, False),
+    ("seg_back_plus_scan", True, True),
+    ("seg_back_max_scan", False, False),
+    ("seg_back_min_scan", False, False),
+    ("seg_copy", True, False),
+    ("seg_back_copy", True, False),
+    ("seg_plus_distribute", True, True),
+    ("seg_max_distribute", True, False),
+    ("seg_min_distribute", True, False),
+    ("seg_or_distribute", True, False),
+    ("seg_and_distribute", True, False),
+    ("seg_flag_from_neighbor_change", True, False),
+]:
+    _register(OpSpec(name=_name, family="segmented",
+                     run=_seg(getattr(segmented, _name)), oracle=_orc(_name),
+                     dtypes=DTYPES_FULL, segmented=True,
+                     nan_ok=_nan_ok, additive=_additive))
+
+_register(OpSpec(name="seg_split", family="segmented", run=_seg_split,
+                 oracle=_orc("seg_split"), dtypes=DTYPES_FULL,
+                 segmented=True, n_flags=1))
+
+_register(OpSpec(name="seg_split3", family="segmented", run=_seg_split3,
+                 oracle=_orc("seg_split3"), dtypes=DTYPES_FULL,
+                 segmented=True, n_flags=2))

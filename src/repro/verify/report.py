@@ -1,0 +1,112 @@
+"""Conformance reporting: the per-op × per-dtype pass matrix.
+
+A :class:`ConformanceReport` aggregates a run's
+:class:`~repro.verify.runner.CaseOutcome` stream into the matrix the CLI
+prints (operations down, dtypes across, ``pass/total`` per cell), exports
+to JSON for CI artifacts, and feeds the :mod:`repro.observe` metrics
+registry (``verify.cases``, ``verify.divergences``) so fuzzer runs show up
+in the same exporters as everything else.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..observe.metrics import registry as _metrics
+from .runner import CaseOutcome, Divergence
+
+__all__ = ["ConformanceReport"]
+
+
+@dataclass
+class ConformanceReport:
+    """Mutable aggregate over one verification run."""
+
+    engines: tuple = ()
+    #: (op, dtype) -> [cases run, cases diverged]
+    cells: dict = field(default_factory=dict)
+    divergences: list = field(default_factory=list)
+
+    def record(self, outcome: CaseOutcome) -> None:
+        key = (outcome.case.op, outcome.case.dtype)
+        cell = self.cells.setdefault(key, [0, 0])
+        cell[0] += 1
+        _metrics.counter("verify.cases").inc()
+        if not outcome.ok:
+            cell[1] += 1
+            self.divergences.extend(outcome.divergences)
+            _metrics.counter("verify.divergences").inc(len(outcome.divergences))
+
+    def record_all(self, outcomes: Iterable[CaseOutcome]) -> None:
+        for outcome in outcomes:
+            self.record(outcome)
+
+    # ------------------------------ stats ------------------------------ #
+
+    @property
+    def total_cases(self) -> int:
+        return sum(run for run, _ in self.cells.values())
+
+    @property
+    def total_failures(self) -> int:
+        return sum(bad for _, bad in self.cells.values())
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    # ---------------------------- rendering ---------------------------- #
+
+    def render_table(self) -> str:
+        """The matrix: ops down, dtypes across, ``pass/total`` per cell
+        (a cell is blank when the op's dtype grid excludes that dtype)."""
+        ops = sorted({op for op, _ in self.cells})
+        dtypes = sorted({dt for _, dt in self.cells})
+        if not ops:
+            return "(no cases run)"
+        op_w = max(len("op"), *(len(o) for o in ops))
+        col_w = {dt: max(len(dt), 5) for dt in dtypes}
+        lines = ["  ".join(["op".ljust(op_w)]
+                           + [dt.rjust(col_w[dt]) for dt in dtypes])]
+        for op in ops:
+            row = [op.ljust(op_w)]
+            for dt in dtypes:
+                cell = self.cells.get((op, dt))
+                if cell is None:
+                    row.append("-".rjust(col_w[dt]))
+                else:
+                    run, bad = cell
+                    mark = f"{run - bad}/{run}" + ("!" if bad else "")
+                    row.append(mark.rjust(col_w[dt]))
+            lines.append("  ".join(row))
+        lines.append("")
+        status = ("all engines agree" if self.ok
+                  else f"{self.total_failures} divergent case(s), "
+                       f"{len(self.divergences)} divergence(s)")
+        lines.append(f"{self.total_cases} cases x {len(self.engines)} "
+                     f"engines ({', '.join(self.engines)}): {status}")
+        return "\n".join(lines)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "engines": list(self.engines),
+            "total_cases": self.total_cases,
+            "total_failures": self.total_failures,
+            "ok": self.ok,
+            "cells": [
+                {"op": op, "dtype": dt, "cases": run, "failed": bad}
+                for (op, dt), (run, bad) in sorted(self.cells.items())
+            ],
+            "divergences": [self._divergence_dict(d)
+                            for d in self.divergences],
+        }
+
+    @staticmethod
+    def _divergence_dict(d: Divergence) -> dict:
+        return {
+            "kind": d.kind,
+            "engine": d.engine,
+            "case": d.case.to_json_dict(),
+            "expected": repr(d.expected),
+            "actual": repr(d.actual),
+        }

@@ -1,0 +1,144 @@
+"""Minimal-counterexample shrinking (delta debugging over cases).
+
+A raw fuzzer counterexample is usually dozens of elements of boundary
+noise hiding a two-element trigger.  :func:`shrink` reduces it with a
+ddmin-style loop — drop ever-smaller chunks of elements (keeping the
+segment layout consistent), then collapse the segment layout, simplify the
+auxiliary flags, and pull surviving values toward 0/1 — re-running the
+differential check after every candidate edit and keeping the edit only if
+the case **still diverges**.  The result is what gets committed to
+``tests/corpus/verify/`` as a regression case, so smaller is better but
+determinism matters more: the loop is purely structural, no randomness.
+"""
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from .corpus import Case
+from .runner import DEFAULT_ENGINES, run_case
+
+__all__ = ["shrink"]
+
+
+def _element_segment_ids(case: Case) -> list[int]:
+    ids: list[int] = []
+    for s, length in enumerate(case.seg_lengths):
+        ids.extend([s] * length)
+    return ids
+
+
+def _drop(case: Case, keep: Sequence[bool]) -> Case:
+    """``case`` with only the ``keep``-marked elements, layout preserved."""
+    values = tuple(v for v, k in zip(case.values, keep) if k)
+    seg = None
+    if case.seg_lengths is not None:
+        kept_per = [0] * len(case.seg_lengths)
+        for i, sid in enumerate(_element_segment_ids(case)):
+            if keep[i]:
+                kept_per[sid] += 1
+        seg = tuple(n for n in kept_per if n > 0)
+        if not seg and not values:
+            seg = ()
+    flags = (tuple(f for f, k in zip(case.flags, keep) if k)
+             if case.flags is not None else None)
+    flags2 = (tuple(f for f, k in zip(case.flags2, keep) if k)
+              if case.flags2 is not None else None)
+    return Case(op=case.op, dtype=case.dtype, values=values,
+                seg_lengths=seg, flags=flags, flags2=flags2, note=case.note)
+
+
+def _replace(case: Case, field: str, new: tuple) -> Case:
+    kw = dict(op=case.op, dtype=case.dtype, values=case.values,
+              seg_lengths=case.seg_lengths, flags=case.flags,
+              flags2=case.flags2, note=case.note)
+    kw[field] = new
+    return Case(**kw)
+
+
+def _simple_candidates(dtype: str):
+    if np.dtype(dtype) == np.bool_:
+        return [False, True]
+    if np.dtype(dtype).kind == "f":
+        return [0.0, 1.0]
+    return [0, 1]
+
+
+def shrink(case: Case,
+           engines: Sequence[str] = DEFAULT_ENGINES,
+           still_fails: Optional[Callable[[Case], bool]] = None,
+           max_evals: int = 500) -> Case:
+    """The smallest variant of ``case`` that still diverges.
+
+    ``still_fails`` overrides the failure predicate (the corpus tests use
+    it to shrink against a single buggy engine); the default re-runs the
+    full differential check.  ``max_evals`` bounds total predicate calls
+    so pathological cases cannot stall the CLI.
+    """
+    if still_fails is None:
+        def still_fails(c: Case) -> bool:
+            return not run_case(c, engines).ok
+
+    evals = [0]
+
+    def check(c: Case) -> bool:
+        if evals[0] >= max_evals:
+            return False
+        evals[0] += 1
+        try:
+            return still_fails(c)
+        except Exception:
+            # a candidate edit that crashes the harness is not a valid
+            # reduction; keep looking
+            return False
+
+    # ------ phase 1: ddmin element removal ------ #
+    n = len(case.values)
+    chunk = max(n // 2, 1)
+    while n > 0 and chunk >= 1:
+        shrunk_this_pass = False
+        start = 0
+        while start < n:
+            keep = [True] * n
+            for i in range(start, min(start + chunk, n)):
+                keep[i] = False
+            candidate = _drop(case, keep)
+            if check(candidate):
+                case = candidate
+                n = len(case.values)
+                shrunk_this_pass = True
+                # do not advance: the window now holds new elements
+            else:
+                start += chunk
+        if not shrunk_this_pass:
+            chunk //= 2
+
+    # ------ phase 2: collapse the segment layout ------ #
+    if case.seg_lengths is not None and len(case.seg_lengths) > 1:
+        candidate = _replace(case, "seg_lengths", (len(case.values),))
+        if check(candidate):
+            case = candidate
+
+    # ------ phase 3: simplify auxiliary flags ------ #
+    for field in ("flags", "flags2"):
+        current = getattr(case, field)
+        if current is not None and any(current):
+            candidate = _replace(case, field, tuple([False] * len(current)))
+            if check(candidate):
+                case = candidate
+
+    # ------ phase 4: pull values toward 0/1 ------ #
+    simple = _simple_candidates(case.dtype)
+    for i in range(len(case.values)):
+        if case.values[i] in simple:
+            continue
+        for replacement in simple:
+            new_values = (case.values[:i] + (replacement,)
+                          + case.values[i + 1:])
+            candidate = _replace(case, "values", new_values)
+            if check(candidate):
+                case = candidate
+                break
+
+    return case

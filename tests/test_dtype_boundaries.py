@@ -1,0 +1,123 @@
+"""Every scan x every dtype x every backend, at the dtype's edges.
+
+The satellite suite of the conformance fuzzer: a deterministic (non-
+random) grid of the inputs where dtype handling breaks — ``iinfo.min`` /
+``iinfo.max`` and neighbors, unsigned widths, bool, float64 — plus the
+empty and length-1 vectors, checked against the serial oracle on all
+three execution backends.  The fuzzer explores; this grid pins the
+boundaries forever.
+"""
+import numpy as np
+import pytest
+
+from repro.verify import OPS, Case, run_case
+
+SCAN_OPS = sorted(name for name, spec in OPS.items()
+                  if spec.family == "scan")
+DTYPES = ["int8", "int16", "uint32", "int64", "bool", "float64"]
+BACKENDS = ("numpy", "blocked:3", "reference")
+
+
+def _boundary_values(dtype: str) -> tuple:
+    dt = np.dtype(dtype)
+    if dt == np.bool_:
+        return (True, False, False, True, True)
+    if np.issubdtype(dt, np.integer):
+        info = np.iinfo(dt)
+        vals = [info.min, info.min + 1, 0, 1, info.max - 1, info.max]
+        if info.min < 0:
+            vals.append(-1)
+        return tuple(vals)
+    return (0.0, "-0.0", 1.0, -1.0, "inf", "-inf", 5e-324)
+
+
+def _cases_for(op: str, dtype: str):
+    spec = OPS[op]
+    boundary = _boundary_values(dtype)
+    if spec.additive and dtype == "float64":
+        boundary = (0.0, "-0.0", 1.0, -1.0, 0.5, 256.0)  # finite +-family
+    vectors = [(), boundary[:1], boundary,
+               (boundary[0],) * 4]                        # all-equal
+    for values in vectors:
+        yield Case(op=op, dtype=dtype, values=values)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("dtype", DTYPES)
+@pytest.mark.parametrize("op", SCAN_OPS)
+def test_scan_at_dtype_boundaries(op, dtype, backend):
+    for case in _cases_for(op, dtype):
+        outcome = run_case(case, engines=(backend,))
+        assert outcome.ok, "\n".join(
+            d.describe() for d in outcome.divergences)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("dtype", DTYPES)
+@pytest.mark.parametrize(
+    "op", sorted(n for n, s in OPS.items()
+                 if s.family in ("reduce", "distribute")))
+def test_reduce_distribute_at_dtype_boundaries(op, dtype, backend):
+    for case in _cases_for(op, dtype):
+        outcome = run_case(case, engines=(backend,))
+        assert outcome.ok, "\n".join(
+            d.describe() for d in outcome.divergences)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("dtype", DTYPES)
+@pytest.mark.parametrize(
+    "op", ["seg_plus_scan", "seg_max_scan", "seg_min_scan", "seg_or_scan",
+           "seg_and_scan", "seg_back_plus_scan", "seg_back_max_scan",
+           "seg_back_min_scan"])
+def test_segmented_scan_at_dtype_boundaries(op, dtype, backend):
+    spec = OPS[op]
+    boundary = _boundary_values(dtype)
+    if spec.additive and dtype == "float64":
+        boundary = (0.0, "-0.0", 1.0, -1.0, 0.5, 256.0)
+    n = len(boundary)
+    layouts = [(n,), (1,) * n, (n - 1, 1)]
+    cases = [Case(op=op, dtype=dtype, values=(), seg_lengths=()),
+             Case(op=op, dtype=dtype, values=boundary[:1],
+                  seg_lengths=(1,))]
+    cases += [Case(op=op, dtype=dtype, values=boundary, seg_lengths=lay)
+              for lay in layouts]
+    for case in cases:
+        outcome = run_case(case, engines=(backend,))
+        assert outcome.ok, "\n".join(
+            d.describe() for d in outcome.divergences)
+
+
+def test_min_scan_signed_boundary_exact():
+    # the original negation-overflow bug, asserted against literal values
+    from repro import Machine
+    from repro.core import scans
+
+    lo = np.iinfo(np.int64).min
+    for backend in BACKENDS:
+        m = Machine("scan", backend=backend)
+        out = scans.min_scan(m.vector(np.array([lo, 0, 5], dtype=np.int64)))
+        assert out.to_list() == [np.iinfo(np.int64).max, lo, lo]
+
+
+def test_min_scan_unsigned_boundary_exact():
+    from repro import Machine
+    from repro.core import scans
+
+    for backend in BACKENDS:
+        m = Machine("scan", backend=backend)
+        out = scans.min_scan(m.vector(np.array([0, 5], dtype=np.uint8)))
+        assert out.to_list() == [255, 0]
+        assert out.dtype == np.uint8
+
+
+def test_or_and_scan_negative_truthiness_exact():
+    from repro import Machine
+    from repro.core import scans
+
+    for backend in BACKENDS:
+        m = Machine("scan", backend=backend)
+        assert scans.or_scan(m.vector(np.array([-1, 0], np.int8))
+                             ).to_list() == [False, True]
+        assert scans.and_scan(m.vector(np.array([-1, -1], np.int8))
+                              ).to_list() == [True, True]

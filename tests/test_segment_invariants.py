@@ -1,0 +1,118 @@
+"""Segment-descriptor invariants: one error type on every entry point.
+
+Every segmented operation must reject malformed descriptors — non-boolean
+flags, a flag vector of the wrong length, a first element that does not
+begin a segment — with :class:`repro.core.segmented.SegmentError` before
+charging any steps.  SegmentError subclasses both ValueError and
+TypeError, so callers written against either keep working.
+"""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.core import segmented
+from repro.core.segmented import SegmentError
+
+#: (name, callable(m, values, seg_flags)) for every values+flags entry point
+VALUES_AND_FLAGS = [
+    ("seg_plus_scan", segmented.seg_plus_scan),
+    ("seg_max_scan", segmented.seg_max_scan),
+    ("seg_min_scan", segmented.seg_min_scan),
+    ("seg_or_scan", segmented.seg_or_scan),
+    ("seg_and_scan", segmented.seg_and_scan),
+    ("seg_back_plus_scan", segmented.seg_back_plus_scan),
+    ("seg_back_max_scan", segmented.seg_back_max_scan),
+    ("seg_back_min_scan", segmented.seg_back_min_scan),
+    ("seg_copy", segmented.seg_copy),
+    ("seg_back_copy", segmented.seg_back_copy),
+    ("seg_enumerate", segmented.seg_enumerate),
+    ("seg_plus_distribute", segmented.seg_plus_distribute),
+    ("seg_max_distribute", segmented.seg_max_distribute),
+    ("seg_min_distribute", segmented.seg_min_distribute),
+    ("seg_or_distribute", segmented.seg_or_distribute),
+    ("seg_and_distribute", segmented.seg_and_distribute),
+    ("seg_flag_from_neighbor_change",
+     segmented.seg_flag_from_neighbor_change),
+]
+
+FLAGS_ONLY = [
+    ("segment_ids", segmented.segment_ids),
+    ("segment_heads", segmented.segment_heads),
+    ("segment_lengths", segmented.segment_lengths),
+    ("seg_index", segmented.seg_index),
+]
+
+
+@pytest.fixture
+def m():
+    return Machine("scan")
+
+
+@pytest.mark.parametrize("name,fn", VALUES_AND_FLAGS,
+                         ids=[n for n, _ in VALUES_AND_FLAGS])
+class TestValuesAndFlagsEntryPoints:
+    def test_nonboolean_flags_rejected(self, m, name, fn):
+        with pytest.raises(SegmentError, match="boolean"):
+            fn(m.vector([1, 2, 3]), m.vector([1, 0, 1]))
+
+    def test_length_mismatch_rejected(self, m, name, fn):
+        with pytest.raises(SegmentError, match="length"):
+            fn(m.vector([1, 2, 3]), m.flags([True, False]))
+
+    def test_headless_first_element_rejected(self, m, name, fn):
+        with pytest.raises(SegmentError, match="first element"):
+            fn(m.vector([1, 2, 3]), m.flags([False, False, True]))
+
+    def test_no_steps_charged_on_rejection(self, m, name, fn):
+        with pytest.raises(SegmentError):
+            fn(m.vector([1, 2, 3]), m.flags([False, True, False]))
+        assert m.steps == 0
+
+
+@pytest.mark.parametrize("name,fn", FLAGS_ONLY,
+                         ids=[n for n, _ in FLAGS_ONLY])
+class TestFlagsOnlyEntryPoints:
+    def test_nonboolean_flags_rejected(self, m, name, fn):
+        with pytest.raises(SegmentError, match="boolean"):
+            fn(m.vector([1, 0, 1]))
+
+    def test_headless_first_element_rejected(self, m, name, fn):
+        with pytest.raises(SegmentError, match="first element"):
+            fn(m.flags([False, True]))
+
+
+class TestSplitEntryPoints:
+    def test_seg_split_checks_descriptor(self, m):
+        with pytest.raises(SegmentError):
+            segmented.seg_split(m.vector([1, 2]), m.flags([True, False]),
+                                m.flags([False, False]))
+
+    def test_seg_split3_checks_descriptor(self, m):
+        with pytest.raises(SegmentError):
+            segmented.seg_split3(m.vector([1, 2]), m.flags([True, False]),
+                                 m.flags([False, True]),
+                                 m.vector([1, 0]))
+
+
+class TestErrorType:
+    def test_segment_error_is_value_and_type_error(self):
+        assert issubclass(SegmentError, ValueError)
+        assert issubclass(SegmentError, TypeError)
+
+    def test_catchable_as_valueerror(self, m):
+        with pytest.raises(ValueError):
+            segmented.segment_ids(m.flags([False, True]))
+
+    def test_catchable_as_typeerror(self, m):
+        with pytest.raises(TypeError):
+            segmented.seg_copy(m.vector([1, 2]), m.vector([1, 1]))
+
+    def test_empty_flags_accepted(self, m):
+        # zero-length descriptors are valid (zero segments)
+        assert segmented.segment_ids(m.flags([])).to_list() == []
+
+    def test_different_machines_rejected(self, m):
+        other = Machine("scan")
+        with pytest.raises(SegmentError, match="machines"):
+            segmented.seg_copy(m.vector([1, 2]),
+                               other.flags([True, False]))

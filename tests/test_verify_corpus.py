@@ -1,0 +1,54 @@
+"""Replay of the committed regression corpus (tests/corpus/verify/).
+
+Every file is a shrunken counterexample that once exposed a divergence
+between an execution backend and the serial oracle.  Replaying them keeps
+each fixed bug fixed; the docstring-free JSON carries a ``note`` naming
+the bug so a future failure identifies itself.
+"""
+import pytest
+
+from repro.verify import CORPUS_DIR, load_corpus, run_case
+
+CORPUS = load_corpus()
+
+#: bugs the fuzzer crop fixed — each must have a committed witness
+EXPECTED_WITNESSES = [
+    "min_scan-int64-boundary",
+    "min_scan-uint8-order",
+    "back_min_scan-int64-boundary",
+    "or_scan-negative",
+    "and_scan-negative",
+    "or_scan-nan",
+    "seg_or_scan-negative",
+    "seg_and_scan-negative",
+    "seg_plus_scan-empty",
+    "seg_plus_scan-uint32-promotion",
+    "seg_back_plus_scan-uint32-promotion",
+    "plus_distribute-int16-overflow",
+    "seg_plus_distribute-int16-overflow",
+    "max_reduce-float64-empty",
+    "max_scan-float64-nan-carry",
+]
+
+
+def test_corpus_directory_exists_and_is_populated():
+    assert CORPUS_DIR.is_dir()
+    assert len(CORPUS) >= len(EXPECTED_WITNESSES)
+
+
+@pytest.mark.parametrize("stem", EXPECTED_WITNESSES)
+def test_every_fixed_bug_has_a_witness(stem):
+    assert (CORPUS_DIR / f"{stem}.json").is_file()
+
+
+@pytest.mark.parametrize(
+    "case", CORPUS,
+    ids=[f"{c.op}-{c.dtype}-{i}" for i, c in enumerate(CORPUS)])
+def test_corpus_case_conforms(case):
+    outcome = run_case(case)
+    assert outcome.ok, "\n".join(
+        d.describe() for d in outcome.divergences)
+
+
+def test_every_corpus_case_documents_its_bug():
+    assert all(c.note for c in CORPUS)
