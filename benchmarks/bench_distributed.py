@@ -1,0 +1,148 @@
+"""The distributed backend: scaling across worker counts, and what
+recovery costs.
+
+Not a paper table — the harness's own health check for the sharded
+multi-process backend (`repro.backends.distributed` + `repro.cluster`).
+Three measurements:
+
+1. **Worker scaling, 1 → 16** — wall-clock for a +-scan at n = 2^20 as
+   the pool widens, against the in-process NumPy backend.  The numbers
+   are reported against ``os.cpu_count()`` honestly: on a single-CPU
+   container every worker timeshares one core, so the point of the table
+   is the *overhead curve* (shared-memory setup, carry exchange, reply
+   round-trips), not a speedup claim.  The carry exchange's round count
+   is asserted to follow the ⌈lg p⌉ bound.
+2. **Recovery overhead, quantified** — the same scan with a scripted
+   chaos kill (worker death mid-phase-1 → classify → respawn → retry)
+   and with a deadline-tuned hang (timeout → respawn → retry), each
+   reported as overhead versus the clean distributed run.  Results stay
+   bit-identical throughout — every row asserts it.
+3. **Degradation floor** — a pool whose every worker is sticky-killed
+   ends up computing host-side; the row quantifies what the retry ladder
+   costs when it loses, and the ledger must still reconcile.
+"""
+import os
+import time
+
+import numpy as np
+
+from repro.backends.distributed import DistributedBackend
+from repro.backends.numpy_backend import NumPyBackend
+from repro.cluster import ChaosAction, ChaosPlan, RetryPolicy, exchange_rounds
+
+from _common import fmt_row, write_report
+
+_report_lines: dict[str, list[str]] = {}
+
+N = 1 << 20
+QUICK = RetryPolicy(op_deadline=15.0, backoff_base=0.01, backoff_cap=0.05,
+                    heartbeat_interval=1000.0)
+
+
+def _publish(section: str, lines: list[str]) -> None:
+    _report_lines[section] = lines
+    flat = []
+    for ls in _report_lines.values():
+        flat.extend(ls + [""])
+    write_report("distributed", flat[:-1])
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _data():
+    return np.random.default_rng(0).integers(0, 1000, size=N)
+
+
+def test_scaling_one_to_sixteen_workers():
+    values = _data()
+    oracle = NumPyBackend()
+    want = oracle.plus_scan(values)
+    t_np = _best_of(lambda: oracle.plus_scan(values))
+
+    widths = [8, 12, 12, 10, 8]
+    lines = [f"Worker scaling: +-scan, n = 2^20 int64, best of 3 "
+             f"(host has {os.cpu_count()} CPU(s) — workers timeshare; "
+             f"this is the overhead curve, not a speedup claim)",
+             fmt_row(["workers", "dist (ms)", "numpy (ms)", "vs numpy",
+                      "rounds"], widths)]
+    for workers in (1, 2, 4, 8, 16):
+        backend = DistributedBackend(workers=workers, min_distribute=1,
+                                     policy=QUICK)
+        try:
+            got = backend.plus_scan(values)
+            np.testing.assert_array_equal(got, want)
+            t = _best_of(lambda: backend.plus_scan(values))
+            assert backend.ledger.failures == 0
+            assert backend.ledger.reconciles()
+            lines.append(fmt_row(
+                [workers, f"{t * 1e3:.2f}", f"{t_np * 1e3:.2f}",
+                 f"{t / t_np:.1f}x", exchange_rounds(workers)], widths))
+        finally:
+            backend.shutdown()
+    _publish("scaling", lines)
+
+
+def test_recovery_overhead():
+    values = _data()
+    want = NumPyBackend().plus_scan(values)
+
+    def timed_run(chaos, policy=QUICK):
+        backend = DistributedBackend(workers=4, min_distribute=1,
+                                     policy=policy, chaos=chaos)
+        try:
+            t0 = time.perf_counter()
+            got = backend.plus_scan(values)
+            elapsed = time.perf_counter() - t0
+            np.testing.assert_array_equal(got, want)
+            assert backend.ledger.reconciles()
+            return elapsed, backend.ledger
+        finally:
+            backend.shutdown()
+
+    t_clean, _ = timed_run(None)
+
+    kill = ChaosPlan(actions=(
+        ChaosAction(op_id=0, worker=1, kind="kill"),), seed=7)
+    t_kill, led_kill = timed_run(kill)
+    assert (led_kill.crashes, led_kill.retries, led_kill.respawns) == (1, 1, 1)
+
+    hang_policy = RetryPolicy(op_deadline=0.5, backoff_base=0.01,
+                              backoff_cap=0.05, heartbeat_interval=1000.0)
+    hang = ChaosPlan(actions=(
+        ChaosAction(op_id=0, worker=1, kind="hang"),), seed=7)
+    t_hang, led_hang = timed_run(hang, policy=hang_policy)
+    assert (led_hang.timeouts, led_hang.retries) == (1, 1)
+
+    degrade_policy = RetryPolicy(op_deadline=15.0, backoff_base=0.01,
+                                 backoff_cap=0.05, heartbeat_interval=1000.0,
+                                 max_retries=1, max_worker_failures=10)
+    sticky = ChaosPlan(actions=tuple(
+        ChaosAction(op_id=0, worker=w, kind="kill", sticky=True)
+        for w in range(4)), seed=7)
+    t_degr, led_degr = timed_run(sticky, policy=degrade_policy)
+    assert led_degr.degraded_shards == 4
+
+    widths = [26, 12, 14, 34]
+    lines = ["Recovery overhead: +-scan, n = 2^20, 4 workers, one run each "
+             "(result bit-identical to numpy in every row)",
+             fmt_row(["scenario", "time (ms)", "vs clean", "ledger"], widths),
+             fmt_row(["clean distributed", f"{t_clean * 1e3:.2f}", "1.0x",
+                      "no failures"], widths),
+             fmt_row(["1 worker killed",
+                      f"{t_kill * 1e3:.2f}", f"{t_kill / t_clean:.1f}x",
+                      f"1 crash, 1 retry, 1 respawn"], widths),
+             fmt_row(["1 worker hung (0.5s ddl)",
+                      f"{t_hang * 1e3:.2f}", f"{t_hang / t_clean:.1f}x",
+                      f"1 timeout, 1 retry"], widths),
+             fmt_row(["all workers sticky-killed",
+                      f"{t_degr * 1e3:.2f}", f"{t_degr / t_clean:.1f}x",
+                      f"{led_degr.crashes} crashes, {led_degr.retries} "
+                      f"retries, 4 shards degraded"], widths)]
+    _publish("recovery", lines)

@@ -8,7 +8,11 @@ The package provides:
 * :class:`repro.Vector` — machine-owned parallel vectors;
 * :mod:`repro.backends` — pluggable execution engines behind
   ``Machine.execute`` (vectorized NumPy, chunked-with-carries blocked
-  mode, and a pure-Python differential-testing reference);
+  mode, a sharded multi-process distributed mode, and a pure-Python
+  differential-testing reference);
+* :mod:`repro.cluster` — the distributed backend's machinery: worker
+  pool supervision, shard kernels, the carry exchange, retry/degradation,
+  chaos plans, and the fault ledger;
 * :mod:`repro.core` — the two scan primitives, all derived and segmented
   scans, and the simple operations of Section 2.2;
 * :mod:`repro.graph` — the segmented graph representation and star-merge;

@@ -1,7 +1,7 @@
 """Pluggable execution backends for the machine's vector primitives.
 
 The cost model (:mod:`repro.machine`) decides what a primitive *charges*;
-a :class:`Backend` decides how it *computes*.  Three are shipped:
+a :class:`Backend` decides how it *computes*.  Four are shipped:
 
 * :class:`NumPyBackend` (``"numpy"``, the default) — one vectorized NumPy
   expression per primitive, behavior- and step-identical to the
@@ -9,13 +9,18 @@ a :class:`Backend` decides how it *computes*.  Three are shipped:
 * :class:`BlockedBackend` (``"blocked"`` / ``"blocked:<chunk>"``) —
   fixed-size chunks with carry propagation across chunk boundaries, the
   paper's Figure 10 long-vector schedule executed for real;
+* :class:`DistributedBackend` (``"distributed"`` /
+  ``"distributed:<workers>[:<min_n>]"``) — shards across supervised OS
+  worker processes with shared memory, a round-efficient carry exchange,
+  and fault-tolerant retry/degradation (see :mod:`repro.cluster`);
 * :class:`ReferenceBackend` (``"reference"``) — pure-Python per-element
   loops, the differential-testing oracle.
 
 Selection: ``Machine(..., backend="blocked")`` takes a registry name, a
-``"blocked:4096"`` spec with a chunk size, or a :class:`Backend`
-instance; when omitted, the ``REPRO_BACKEND`` environment variable is
-honored (same syntax) before falling back to ``"numpy"``.
+``"name:<args>"`` spec (each backend documents its own ``spec_syntax``),
+or a :class:`Backend` instance; when omitted, the ``REPRO_BACKEND``
+environment variable is honored (same syntax) before falling back to
+``"numpy"``.
 """
 from __future__ import annotations
 
@@ -27,13 +32,20 @@ from .blocked import BlockedBackend
 from .numpy_backend import NumPyBackend
 from .reference import ReferenceBackend
 
+# imported last: DistributedBackend subclasses NumPyBackend and pulls in
+# repro.cluster, which reaches back into repro.backends.numpy_backend —
+# fully initialized by this point in the module body
+from .distributed import DistributedBackend  # noqa: E402  (import order is load-bearing)
+
 __all__ = [
     "Backend",
     "BlockedBackend",
+    "DistributedBackend",
     "NumPyBackend",
     "OpEvent",
     "ReferenceBackend",
     "available_backends",
+    "backend_specs",
     "get_backend",
     "resolve_backend",
 ]
@@ -41,6 +53,7 @@ __all__ = [
 _REGISTRY: dict[str, type[Backend]] = {
     NumPyBackend.name: NumPyBackend,
     BlockedBackend.name: BlockedBackend,
+    DistributedBackend.name: DistributedBackend,
     ReferenceBackend.name: ReferenceBackend,
 }
 
@@ -53,24 +66,32 @@ def available_backends() -> list[str]:
     return sorted(_REGISTRY)
 
 
+def backend_specs() -> list[str]:
+    """Each registered backend's spec syntax (its name when it takes no
+    arguments), sorted by name — the vocabulary of ``Machine(backend=...)``
+    strings and :data:`BACKEND_ENV_VAR` values."""
+    return [(_REGISTRY[name].spec_syntax or name)
+            for name in available_backends()]
+
+
 def get_backend(spec: str) -> Backend:
     """Instantiate a backend from a spec string.
 
-    A spec is a registry name, optionally followed by ``:<argument>``;
-    the only argument currently defined is the blocked backend's chunk
-    size (``"blocked:4096"``).
+    A spec is a registry name, optionally followed by ``:<arguments>``
+    the backend itself parses (:meth:`Backend.from_spec`) — e.g.
+    ``"blocked:4096"`` or ``"distributed:8:100000"``.
     """
     name, _, arg = spec.partition(":")
     cls = _REGISTRY.get(name)
     if cls is None:
         raise ValueError(
-            f"unknown backend {name!r}; expected one of {available_backends()}"
+            f"unknown backend {name!r}; available backends: "
+            f"{', '.join(available_backends())} "
+            f"(spec syntax: {', '.join(backend_specs())}); select one via "
+            f"Machine(backend=...) or the {BACKEND_ENV_VAR} environment "
+            f"variable"
         )
-    if arg:
-        if cls is not BlockedBackend:
-            raise ValueError(f"backend {name!r} takes no {arg!r} argument")
-        return BlockedBackend(chunk=int(arg))
-    return cls()
+    return cls.from_spec(arg)
 
 
 def resolve_backend(backend: Optional[Union[str, Backend]]) -> Backend:
@@ -78,7 +99,16 @@ def resolve_backend(backend: Optional[Union[str, Backend]]) -> Backend:
     through, a string is looked up, and ``None`` consults
     :data:`BACKEND_ENV_VAR` before defaulting to ``"numpy"``."""
     if backend is None:
-        backend = os.environ.get(BACKEND_ENV_VAR) or NumPyBackend.name
+        env = os.environ.get(BACKEND_ENV_VAR)
+        if not env:
+            return NumPyBackend()
+        try:
+            return get_backend(env)
+        except ValueError as exc:
+            # name the env var: the bad spec came from the environment,
+            # not from any visible call site
+            raise ValueError(
+                f"invalid {BACKEND_ENV_VAR} value {env!r}: {exc}") from exc
     if isinstance(backend, str):
         return get_backend(backend)
     if isinstance(backend, Backend):

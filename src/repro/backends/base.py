@@ -69,6 +69,20 @@ class Backend(ABC):
     #: registry name (``Machine(backend="<name>")`` / ``REPRO_BACKEND``)
     name: ClassVar[str] = "abstract"
 
+    #: human-readable spec syntax shown by registry errors; empty means
+    #: the bare name is the whole syntax (no arguments accepted)
+    spec_syntax: ClassVar[str] = ""
+
+    @classmethod
+    def from_spec(cls, arg: str) -> "Backend":
+        """Build an instance from the spec's argument part (the text after
+        ``name:``).  The base implementation accepts no argument; backends
+        with parameters (blocked chunk size, distributed worker count)
+        override this to parse theirs."""
+        if arg:
+            raise ValueError(f"backend {cls.name!r} takes no {arg!r} argument")
+        return cls()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
 

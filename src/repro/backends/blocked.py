@@ -42,6 +42,19 @@ class BlockedBackend(Backend):
     """Fixed-size-chunk execution with carry propagation across chunks."""
 
     name = "blocked"
+    spec_syntax = "blocked[:<chunk>]"
+
+    @classmethod
+    def from_spec(cls, arg: str) -> "BlockedBackend":
+        if not arg:
+            return cls()
+        try:
+            chunk = int(arg)
+        except ValueError:
+            raise ValueError(
+                f"backend 'blocked' takes an integer chunk size "
+                f"({cls.spec_syntax}), got {arg!r}") from None
+        return cls(chunk=chunk)
 
     def __init__(self, chunk: int = DEFAULT_CHUNK) -> None:
         if chunk < 1:

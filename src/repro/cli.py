@@ -9,9 +9,12 @@
     python -m repro figure9             # the line-drawing figure (ASCII)
     python -m repro demo                # a quick primitive tour
     python -m repro backends            # execution backends + self-check
+    python -m repro cluster             # sharded multi-process scan demo
+    python -m repro cluster --chaos     # ...with scripted worker failures
     python -m repro profile radix_sort  # spans/steps/bytes profile
     python -m repro profile mst --backend blocked --export chrome
     python -m repro verify --seed 0 --cases 500   # differential fuzz
+    python -m repro verify --backends numpy,distributed:2:1 --chaos-seed 7
 
 The heavyweight regeneration (wall-clock timing included) lives in
 ``pytest benchmarks/ --benchmark-only``; this CLI prints the step/cycle
@@ -227,6 +230,90 @@ def _backends(args) -> None:
           f"{-(-len(data) // 4)} chunks)")
     if not ok:
         raise SystemExit("blocked:4 failed its self-check")
+    # the distributed backend takes a worker count and a distribution
+    # threshold: "distributed:2:1" = 2 worker processes, shard even tiny
+    # vectors (the default threshold keeps short vectors in-process)
+    from .backends.distributed import (DEFAULT_MIN_DISTRIBUTE,
+                                       DEFAULT_WORKERS)
+
+    m = Machine("scan", backend="distributed:2:1")
+    v = m.vector(data)
+    out = scans.plus_scan(v)
+    ok = sim_verify_plus_scan(v, out)
+    shards = len(m.backend.pool.live_workers())
+    print(f"  distributed:2:1  sharded demo   self-check "
+          f"{'ok' if ok else 'FAILED'}  ({len(data)} elements across "
+          f"{shards} worker processes; defaults: {DEFAULT_WORKERS} workers, "
+          f"distribute at n >= {DEFAULT_MIN_DISTRIBUTE})")
+    if not ok:
+        raise SystemExit("distributed:2:1 failed its self-check")
+
+
+def _cluster(args) -> int:
+    from . import Machine
+    from .backends.distributed import DistributedBackend
+    from .cluster import ChaosAction, ChaosPlan, RetryPolicy
+    from .core import scans
+    from .observe.metrics import registry
+
+    chaos = None
+    if args.chaos:
+        # a scripted failure per recovery path: worker 0 dies mid-scan,
+        # worker 1 returns a corrupted shard, one worker hangs past its
+        # deadline — all on the first three distributed ops
+        chaos = ChaosPlan(actions=(
+            ChaosAction(op_id=0, worker=0, kind="kill"),
+            ChaosAction(op_id=1, worker=1 % args.workers, kind="corrupt"),
+            ChaosAction(op_id=2, worker=0, kind="hang"),
+        ), seed=args.seed)
+    backend = DistributedBackend(
+        workers=args.workers, min_distribute=1,
+        policy=RetryPolicy(op_deadline=args.deadline, backoff_base=0.01),
+        chaos=chaos)
+    try:
+        m = Machine("scan", backend=backend)
+        rng = np.random.default_rng(args.seed)
+        data = rng.integers(0, 100, size=args.n).astype(np.int64)
+        v = m.vector(data)
+        print(f"cluster: {args.workers} worker processes, sharded scans over "
+              f"n={args.n}" + (" (chaos plan armed)" if chaos else ""))
+
+        plus = scans.plus_scan(v).data
+        mx = scans.max_scan(v, identity=0).data
+        again = scans.plus_scan(v).data  # op 2: the chaos hang's target
+        total = int(plus[-1]) + int(data[-1])
+
+        baseline = Machine("scan", backend="numpy")
+        bv = baseline.vector(data)
+        ok = (np.array_equal(plus, scans.plus_scan(bv).data)
+              and np.array_equal(mx, scans.max_scan(bv, identity=0).data)
+              and np.array_equal(again, scans.plus_scan(bv).data))
+        print(f"+-scan / max-scan / +-scan vs in-process numpy: "
+              f"{'bit-identical' if ok else 'MISMATCH'}; sum={total}")
+        print(f"step charges: distributed={m.steps} numpy={baseline.steps} "
+              f"({'identical' if m.steps == baseline.steps else 'DIVERGED'})")
+
+        print("\n-- cluster ledger --")
+        print(backend.ledger.summary())
+
+        print("\n-- cluster metrics --")
+        for name in registry.names():
+            if not name.startswith("cluster."):
+                continue
+            snap = registry.snapshot()[name]
+            if snap["type"] == "histogram":
+                print(f"  {name:<32} count={snap['count']} "
+                      f"mean={snap['mean']:.1f} max={snap['max']}")
+            else:
+                print(f"  {name:<32} {snap['value']}")
+        if not ok or m.steps != baseline.steps:
+            return 1
+        if not backend.ledger.reconciles():
+            print("ledger does NOT reconcile")
+            return 1
+        return 0
+    finally:
+        backend.shutdown()
 
 
 def _verify(args) -> int:
@@ -237,6 +324,16 @@ def _verify(args) -> int:
 
     engines = (tuple(e for e in args.backends.split(",") if e)
                if args.backends else DEFAULT_ENGINES)
+
+    if args.chaos_seed is not None:
+        # arm every shared worker pool (the distributed engines' pools)
+        # with seeded random kills: conformance under chaos
+        from .cluster import ChaosPlan, set_shared_chaos
+
+        set_shared_chaos(ChaosPlan(kill_probability=args.chaos_kill_prob,
+                                   seed=args.chaos_seed))
+        print(f"chaos armed on distributed pools: seed={args.chaos_seed}, "
+              f"kill probability {args.chaos_kill_prob} per shard dispatch")
     ops = [o for o in args.ops.split(",") if o] if args.ops else None
     dtypes = [d for d in args.dtypes.split(",") if d] if args.dtypes else None
 
@@ -356,6 +453,22 @@ def main(argv: list[str] | None = None) -> int:
                         help="list execution backends and self-check each")
     pb.set_defaults(func=_backends)
 
+    pc = sub.add_parser(
+        "cluster",
+        help="sharded multi-process scan demo: pool, ledger, metrics")
+    pc.add_argument("--workers", type=int, default=4,
+                    help="worker processes in the pool")
+    pc.add_argument("--n", type=int, default=1 << 20,
+                    help="vector length for the demo scans")
+    pc.add_argument("--seed", type=int, default=0)
+    pc.add_argument("--deadline", type=float, default=2.0,
+                    help="per-shard op deadline in seconds (a scripted "
+                         "hang stalls this long before recovery kicks in)")
+    pc.add_argument("--chaos", action="store_true",
+                    help="script a kill, a corruption and a hang into the "
+                         "demo to show the recovery ladder")
+    pc.set_defaults(func=_cluster)
+
     pp = sub.add_parser(
         "profile",
         help="profile a Table 1 algorithm: spans, steps, bytes, metrics")
@@ -402,6 +515,12 @@ def main(argv: list[str] | None = None) -> int:
     pv.add_argument("--artifact", default=None,
                     help="on divergence, write shrunken counterexamples "
                          "to this JSON file (CI uploads it)")
+    pv.add_argument("--chaos-seed", type=int, default=None,
+                    help="arm the distributed backend's shared pools with "
+                         "seeded random worker kills during the run")
+    pv.add_argument("--chaos-kill-prob", type=float, default=0.02,
+                    help="per-shard-dispatch kill probability under "
+                         "--chaos-seed")
     pv.set_defaults(func=_verify)
 
     pf = sub.add_parser("faults",

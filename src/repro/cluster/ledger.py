@@ -1,0 +1,82 @@
+"""The cluster's fault ledger: every failure, retry, and degradation.
+
+The distributed backend's promise is not "workers never fail" but "every
+failure is accounted for and the result is still right".  The
+:class:`ClusterLedger` is the accounting half of that promise, in the
+mold of :class:`repro.machine.counters.FaultCounters`: plain integer
+counters with a :meth:`reconciles` invariant that ties them together —
+every classified failure must end in exactly one retry or one degraded
+shard, so ``failures == retries + degraded_shards`` always holds after a
+job completes.  Chaos tests assert these counts exactly; the ``cluster``
+CLI prints :meth:`summary` as its ledger table.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+__all__ = ["ClusterLedger"]
+
+
+@dataclass
+class ClusterLedger:
+    """Counters for one :class:`~repro.cluster.pool.WorkerPool`'s lifetime."""
+
+    # traffic
+    ops: int = 0                  #: primitive executions routed to the backend
+    ops_distributed: int = 0      #: ops actually sharded across workers
+    ops_local: int = 0            #: ops computed in-process (below threshold or pool broken)
+    shards: int = 0               #: shard dispatches, both phases, including retries
+
+    # chaos injections (what the plan did)
+    chaos_kills: int = 0
+    chaos_hangs: int = 0
+    chaos_corruptions: int = 0
+
+    # failure classification (what the supervisor saw)
+    timeouts: int = 0             #: shard replies past the op deadline
+    crashes: int = 0              #: dead worker / broken pipe / error reply
+    corrupt_replies: int = 0      #: checksum mismatches
+
+    # recovery actions (what the supervisor did)
+    retries: int = 0              #: shard re-dispatches after a failure
+    respawns: int = 0             #: worker processes restarted
+    degraded_shards: int = 0      #: shards computed host-side after retry exhaustion
+    orphaned_shards: int = 0      #: shards moved host-side because no worker was live
+    heartbeat_failures: int = 0   #: liveness pings that went unanswered
+    dead_workers: int = 0         #: slots retired after repeated failures
+    pool_degradations: int = 0    #: times the whole pool was declared broken
+
+    @property
+    def failures(self) -> int:
+        """Total classified shard failures."""
+        return self.timeouts + self.crashes + self.corrupt_replies
+
+    def reconciles(self) -> bool:
+        """The supervision invariant: every failure was answered by
+        exactly one retry or one host-side degradation."""
+        return self.failures == self.retries + self.degraded_shards
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, f.default)
+
+    def summary(self) -> str:
+        lines = [
+            f"ops              {self.ops:8d}  (distributed {self.ops_distributed}, "
+            f"local {self.ops_local})",
+            f"shards           {self.shards:8d}",
+            f"chaos injected   {self.chaos_kills + self.chaos_hangs + self.chaos_corruptions:8d}"
+            f"  (kill {self.chaos_kills}, hang {self.chaos_hangs}, "
+            f"corrupt {self.chaos_corruptions})",
+            f"failures         {self.failures:8d}  (timeout {self.timeouts}, "
+            f"crash {self.crashes}, corrupt {self.corrupt_replies})",
+            f"retries          {self.retries:8d}",
+            f"respawns         {self.respawns:8d}",
+            f"degraded shards  {self.degraded_shards:8d}",
+            f"orphaned shards  {self.orphaned_shards:8d}",
+            f"heartbeat fails  {self.heartbeat_failures:8d}",
+            f"dead workers     {self.dead_workers:8d}",
+            f"pool degradations{self.pool_degradations:8d}",
+            f"reconciles       {'yes' if self.reconciles() else 'NO'}",
+        ]
+        return "\n".join(lines)

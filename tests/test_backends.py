@@ -24,9 +24,11 @@ from repro.backends import (
     BACKEND_ENV_VAR,
     Backend,
     BlockedBackend,
+    DistributedBackend,
     NumPyBackend,
     ReferenceBackend,
     available_backends,
+    backend_specs,
     get_backend,
     resolve_backend,
 )
@@ -42,20 +44,47 @@ BACKEND_SPECS = ["numpy", "blocked:7", "reference"]
 # --------------------------------------------------------------------- #
 
 class TestSelection:
-    def test_registry_lists_all_three(self):
-        assert available_backends() == ["blocked", "numpy", "reference"]
+    def test_registry_lists_all_four(self):
+        assert available_backends() == ["blocked", "distributed", "numpy",
+                                        "reference"]
 
     def test_get_backend_parses_specs(self):
         assert isinstance(get_backend("numpy"), NumPyBackend)
         assert isinstance(get_backend("reference"), ReferenceBackend)
         b = get_backend("blocked:4096")
         assert isinstance(b, BlockedBackend) and b.chunk == 4096
+        d = get_backend("distributed:2:100")
+        assert isinstance(d, DistributedBackend)
+        assert d.workers == 2 and d.min_distribute == 100
 
     def test_unknown_name_and_stray_argument_raise(self):
         with pytest.raises(ValueError, match="unknown backend"):
             get_backend("cuda")
         with pytest.raises(ValueError, match="takes no"):
             get_backend("numpy:8")
+
+    def test_unknown_backend_error_is_helpful(self):
+        """The registry error teaches the fix: every registered name, the
+        spec syntaxes, and both selection channels."""
+        with pytest.raises(ValueError) as err:
+            get_backend("cuda")
+        message = str(err.value)
+        for name in available_backends():
+            assert name in message
+        for syntax in backend_specs():
+            assert syntax in message
+        assert "distributed" in message
+        assert BACKEND_ENV_VAR in message
+        assert "Machine(backend=...)" in message
+
+    def test_invalid_env_value_names_the_env_var(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "warp:9")
+        with pytest.raises(ValueError, match=BACKEND_ENV_VAR):
+            resolve_backend(None)
+        # a bad argument to a known name is wrapped the same way
+        monkeypatch.setenv(BACKEND_ENV_VAR, "blocked:many")
+        with pytest.raises(ValueError, match=BACKEND_ENV_VAR):
+            resolve_backend(None)
 
     def test_resolve_precedence(self, monkeypatch):
         monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)

@@ -17,6 +17,9 @@ class TestInProcess:
         ["table5", "--n", "512"],
         ["figure9"],
         ["backends"],
+        ["cluster", "--workers", "2", "--n", "4096", "--deadline", "5.0"],
+        ["cluster", "--workers", "2", "--n", "4096", "--deadline", "5.0",
+         "--chaos"],
     ])
     def test_commands_run(self, argv, capsys):
         assert main(argv) == 0
@@ -26,9 +29,25 @@ class TestInProcess:
     def test_backends_lists_and_self_checks_all(self, capsys):
         main(["backends"])
         out = capsys.readouterr().out
-        for name in ("numpy", "blocked", "reference"):
+        for name in ("numpy", "blocked", "distributed", "reference"):
             assert name in out
-        assert out.count("self-check ok") == 4  # 3 backends + blocked:4 demo
+        # 4 backends + blocked:4 + distributed:2:1 demos
+        assert out.count("self-check ok") == 6
+        assert "FAILED" not in out
+
+    def test_cluster_reports_ledger_and_matching_steps(self, capsys):
+        assert main(["cluster", "--workers", "2", "--n", "4096",
+                     "--deadline", "5.0"]) == 0
+        out = capsys.readouterr().out
+        assert "ledger" in out.lower()
+        assert "bit-identical" in out
+        assert "FAILED" not in out
+
+    def test_cluster_chaos_recovers(self, capsys):
+        assert main(["cluster", "--workers", "2", "--n", "4096",
+                     "--deadline", "2.0", "--chaos"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" in out
         assert "FAILED" not in out
 
     def test_table1_shows_all_models(self, capsys):
