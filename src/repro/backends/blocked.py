@@ -71,12 +71,83 @@ class BlockedBackend(Backend):
         """Chunk-bounded temporaries: working storage never exceeds one
         chunk of the widest lane (8-byte words), regardless of vector
         length — the figure a profiler should see drop when switching a
-        long-vector run from ``numpy`` to ``blocked``."""
+        long-vector run from ``numpy`` to ``blocked``.  Fused pipelines
+        report the chain executor's own chunk-bounded accounting."""
+        if op == "fused_pipeline":
+            return super().temp_bytes(op, out_bytes)
         return min(out_bytes, self.chunk * 8)
 
     def _spans(self, n: int) -> Iterator[tuple[int, int]]:
         for start in range(0, n, self.chunk):
             yield start, min(start + self.chunk, n)
+
+    # ------------------------ fused pipelines -------------------------- #
+
+    def _eval_chunk(self, plan, s: int, e: int) -> np.ndarray:
+        """Evaluate the plan's elementwise chain on rows ``[s, e)`` alone.
+
+        Every intermediate is ``(e - s)``-sized, so a fused chain's
+        working storage is chunk-bounded no matter the vector length —
+        the same guarantee the per-primitive chunk loops give, but held
+        across the *whole* chain at once.
+        """
+        env: list = []
+        for step in plan.steps:
+            args = []
+            for tag, payload in step.args:
+                if tag == "in":       # full-length leaf: take this chunk
+                    args.append(plan.inputs[payload][s:e])
+                elif tag == "step":   # already chunk-sized
+                    args.append(env[payload])
+                else:                 # scalar immediate
+                    args.append(payload)
+            env.append(step.as_callable()(*args))
+        return env[-1]
+
+    def fused_pipeline(self, plan) -> np.ndarray:
+        """Fold the elementwise chain into the per-chunk carry loop.
+
+        Each chunk is produced by evaluating the whole chain on that
+        chunk's slice of the inputs, then consumed immediately — by the
+        output buffer for a plain chain, or by the terminal scan's
+        carry-propagating sweep, so a fused ``plus_scan(a*b + c)`` makes
+        **one pass** over each chunk with only chunk-sized temporaries.
+        The carry arithmetic is byte-for-byte the eager
+        :meth:`plus_scan` / :meth:`max_scan` loop, so fused results are
+        bit-identical to unfused blocked execution (including float
+        association).
+        """
+        n = plan.n
+        dtype = plan.root_dtype
+        out = np.empty(n, dtype=dtype)
+        per_chunk = min(n, self.chunk)
+        # chain intermediates + the evaluated chunk, all chunk-sized
+        self._fused_temp = (len(plan.steps)
+                            * per_chunk * max(1, dtype.itemsize))
+        if plan.terminal is None:
+            for s, e in self._spans(n):
+                out[s:e] = self._eval_chunk(plan, s, e)
+            return out
+        if plan.terminal == "plus_scan":
+            carry = dtype.type(0)
+            with np.errstate(over="ignore"):  # modular carries wrap
+                for s, e in self._spans(n):
+                    seg = self._eval_chunk(plan, s, e)
+                    out[s] = carry
+                    np.cumsum(seg[:-1], out=out[s + 1:e])
+                    out[s + 1:e] += carry
+                    carry = carry + seg.sum(dtype=dtype)
+            return out
+        # max_scan terminal
+        (identity,) = plan.terminal_args
+        carry = np.asarray(identity, dtype=dtype)[()]
+        for s, e in self._spans(n):
+            seg = self._eval_chunk(plan, s, e)
+            out[s] = carry
+            np.maximum.accumulate(seg[:-1], out=out[s + 1:e])
+            np.maximum(out[s + 1:e], carry, out=out[s + 1:e])
+            carry = np.maximum(carry, seg.max()) if len(seg) else carry
+        return out
 
     # -------------------------- elementwise --------------------------- #
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .lazy import LazyNode, compile_plan
 from .vector import Vector
 
 __all__ = [
@@ -108,6 +109,17 @@ def plus_scan(v: Vector) -> Vector:
 
         return reliable_plus_scan(v)
     v.machine.charge_scan(len(v))
+    node = v._pending_node()
+    if node is not None:
+        # fuse the scan onto the pending elementwise chain: one pipeline,
+        # one pass per chunk on the blocked backend.  The bool -> int64
+        # widening below becomes an uncharged cast step, exactly mirroring
+        # the host-side astype of the eager path.
+        if node.dtype == np.bool_:
+            node = LazyNode("cast", None, (node,), node.n,
+                            np.dtype(np.int64))
+        plan = compile_plan(node, terminal="plus_scan")
+        return Vector._adopt(v.machine, v.machine.execute_fused(plan))
     data = v.data
     if data.dtype == np.bool_:
         data = data.astype(np.int64)
@@ -127,10 +139,14 @@ def max_scan(v: Vector, identity=None) -> Vector:
 
         return reliable_max_scan(v, identity=identity)
     v.machine.charge_scan(len(v))
-    data = v.data
     if identity is None:
-        identity = max_identity(data.dtype)
-    out = v.machine.execute("max_scan", data, identity, inject="scan")
+        identity = max_identity(v.dtype)
+    node = v._pending_node()
+    if node is not None:
+        plan = compile_plan(node, terminal="max_scan",
+                            terminal_args=(identity,))
+        return Vector._adopt(v.machine, v.machine.execute_fused(plan))
+    out = v.machine.execute("max_scan", v.data, identity, inject="scan")
     return Vector._adopt(v.machine, out)
 
 

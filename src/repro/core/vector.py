@@ -11,6 +11,18 @@ dispatch point :meth:`repro.machine.Machine.execute`.
 Vectors are immutable: operations return new vectors, and the underlying
 buffer is marked read-only, so accidental aliasing cannot corrupt step
 accounting or results.
+
+With fusion enabled on the machine (the default; see
+:class:`~repro.machine.Machine` and ``docs/fusion.md``), elementwise
+operations are **lazy**: they charge their program steps immediately — in
+exactly eager order, so step counts are bit-identical either way — but
+defer computation into a small expression DAG
+(:class:`~repro.core.lazy.LazyNode`).  Any observable boundary (``.data``,
+``to_array``, a scan, a permute, a reduction, ``repr``, single-cell reads)
+*forces* the pending chain: the DAG is compiled to one
+:class:`~repro.backends.plan.FusedPlan` and executed by the backend as a
+single ``fused_pipeline`` primitive.  ``len()`` and ``.dtype`` never
+force — shape and type are known at build time.
 """
 from __future__ import annotations
 
@@ -19,6 +31,7 @@ from typing import Callable, Optional, Union
 import numpy as np
 
 from ..machine.model import CapabilityError, Machine
+from .lazy import LazyNode, compile_plan, probe_dtype
 
 __all__ = ["Vector"]
 
@@ -40,7 +53,7 @@ class Vector:
         which every primitive uses for its result.
     """
 
-    __slots__ = ("machine", "_data")
+    __slots__ = ("machine", "_storage", "_expr")
 
     def __init__(self, machine: Machine, data) -> None:
         arr = np.array(data, copy=True)
@@ -48,7 +61,8 @@ class Vector:
             raise ValueError(f"Vector must be 1-D, got shape {arr.shape}")
         arr.setflags(write=False)
         self.machine = machine
-        self._data = arr
+        self._storage = arr
+        self._expr = None
 
     @classmethod
     def _adopt(cls, machine: Machine, arr: np.ndarray) -> "Vector":
@@ -61,7 +75,18 @@ class Vector:
         arr.setflags(write=False)
         self = object.__new__(cls)
         self.machine = machine
-        self._data = arr
+        self._storage = arr
+        self._expr = None
+        return self
+
+    @classmethod
+    def _defer(cls, machine: Machine, node: LazyNode) -> "Vector":
+        """Internal lazy constructor: wrap a pending expression node whose
+        value materializes on first observation (see :attr:`_data`)."""
+        self = object.__new__(cls)
+        self.machine = machine
+        self._storage = None
+        self._expr = node
         return self
 
     # ------------------------------------------------------------------ #
@@ -69,16 +94,53 @@ class Vector:
     # ------------------------------------------------------------------ #
 
     @property
+    def _data(self) -> np.ndarray:
+        """The underlying array, **forcing** any pending lazy expression.
+
+        Every observable boundary reads through here: the pending DAG is
+        compiled into one :class:`~repro.backends.plan.FusedPlan` and
+        executed by the backend as a single ``fused_pipeline`` primitive.
+        No steps are charged — the machine was charged op by op when the
+        expression was built.  Forcing is idempotent (the node caches its
+        result)."""
+        node = self._expr
+        if node is not None:
+            if node.result is None:
+                plan = compile_plan(node)
+                out = self.machine.execute_fused(plan)
+                out.setflags(write=False)
+                node.result = out
+            self._storage = node.result
+            self._expr = None
+        return self._storage
+
+    def _operand(self):
+        """This vector as a lazy-DAG operand: its pending node while
+        deferred, its materialized array otherwise."""
+        return self._expr if self._expr is not None else self._storage
+
+    def _pending_node(self) -> Optional[LazyNode]:
+        """The pending expression node, or ``None`` once materialized
+        (used by scans to fuse a terminal onto the chain)."""
+        node = self._expr
+        return node if node is not None and node.result is None else None
+
+    @property
     def data(self) -> np.ndarray:
-        """The read-only underlying array (no copy)."""
+        """The read-only underlying array (no copy; forces)."""
         return self._data
 
     @property
     def dtype(self) -> np.dtype:
-        return self._data.dtype
+        """Element dtype (known at build time; never forces)."""
+        if self._expr is not None:
+            return self._expr.dtype
+        return self._storage.dtype
 
     def __len__(self) -> int:
-        return len(self._data)
+        if self._expr is not None:
+            return self._expr.n
+        return len(self._storage)
 
     def to_array(self) -> np.ndarray:
         """A mutable copy of the contents."""
@@ -112,20 +174,70 @@ class Vector:
     # Elementwise operations (one program step each)
     # ------------------------------------------------------------------ #
 
+    @staticmethod
+    def _snapshot(operand):
+        """A safe leaf for a lazy DAG: writable caller-owned arrays are
+        copied and frozen so a later mutation cannot change the deferred
+        value (vector storage is already read-only and passes through)."""
+        if isinstance(operand, np.ndarray) and operand.flags.writeable:
+            operand = operand.copy()
+            operand.setflags(write=False)
+        return operand
+
+    def _defer_op(self, func, operands: tuple, dtype=None,
+                  kind: Optional[str] = None) -> "Vector":
+        """Build one pending expression node (the lazy twin of an eager
+        ``execute("elementwise", ...)``).  The caller has already charged
+        the machine.  The node's result dtype is probed on zero-length
+        operand slices so NumPy's own promotion rules decide it, exactly
+        as eager execution would; an explicit ``dtype`` that differs from
+        the natural one folds the eager path's ``astype`` into the node's
+        callable, keeping values bit-identical."""
+        operands = tuple(self._snapshot(a) for a in operands)
+        if kind is None:
+            kind = "ufunc" if isinstance(func, np.ufunc) else "custom"
+        if dtype is not None:
+            want = np.dtype(dtype)
+            if kind == "ufunc" and probe_dtype(kind, func, operands) == want:
+                node_dtype = want
+            else:
+                base, kind = func, "custom"
+                func = lambda *a: base(*a).astype(want)  # noqa: E731 - eager twin
+                node_dtype = probe_dtype(kind, func, operands)
+        else:
+            node_dtype = probe_dtype(kind, func, operands)
+        node = LazyNode(kind, func, operands, len(self), node_dtype)
+        return Vector._defer(self.machine, node)
+
     def _binary(self, other, func: Callable, dtype=None) -> "Vector":
         if isinstance(other, Vector):
             self._check_same_machine(other)
-            rhs = other._data
-        else:
-            rhs = other  # an immediate constant held in the instruction: free
         self.machine.charge_elementwise(len(self))
+        if self.machine.fusion_enabled:
+            rhs = other._operand() if isinstance(other, Vector) else other
+            return self._defer_op(func, (self._operand(), rhs), dtype)
+        rhs = other._data if isinstance(other, Vector) else other
         fn = func if dtype is None else (lambda *a: func(*a).astype(dtype))
         out = self.machine.execute("elementwise", fn, self._data, rhs,
                                    inject="elementwise")
         return self._wrap(out)
 
+    def _rbinary(self, other, func: Callable) -> "Vector":
+        """Reflected arithmetic: ``other op self`` with ``other`` a scalar
+        immediate (Python dispatches Vector operands to the forward
+        method), so the operand order swaps and the charge is the same
+        one elementwise step."""
+        self.machine.charge_elementwise(len(self))
+        if self.machine.fusion_enabled:
+            return self._defer_op(func, (other, self._operand()))
+        out = self.machine.execute("elementwise", func, other, self._data,
+                                   inject="elementwise")
+        return self._wrap(out)
+
     def _unary(self, func: Callable, dtype=None) -> "Vector":
         self.machine.charge_elementwise(len(self))
+        if self.machine.fusion_enabled:
+            return self._defer_op(func, (self._operand(),), dtype)
         fn = func if dtype is None else (lambda a: func(a).astype(dtype))
         out = self.machine.execute("elementwise", fn, self._data,
                                    inject="elementwise")
@@ -135,28 +247,37 @@ class Vector:
         return self._binary(other, np.add)
 
     def __radd__(self, other) -> "Vector":
-        return self._binary(other, lambda a, b: np.add(b, a))
+        return self._rbinary(other, np.add)
 
     def __sub__(self, other) -> "Vector":
         return self._binary(other, np.subtract)
 
     def __rsub__(self, other) -> "Vector":
-        return self._binary(other, lambda a, b: np.subtract(b, a))
+        return self._rbinary(other, np.subtract)
 
     def __mul__(self, other) -> "Vector":
         return self._binary(other, np.multiply)
 
     def __rmul__(self, other) -> "Vector":
-        return self._binary(other, lambda a, b: np.multiply(b, a))
+        return self._rbinary(other, np.multiply)
 
     def __truediv__(self, other) -> "Vector":
         return self._binary(other, np.true_divide)
 
+    def __rtruediv__(self, other) -> "Vector":
+        return self._rbinary(other, np.true_divide)
+
     def __floordiv__(self, other) -> "Vector":
         return self._binary(other, np.floor_divide)
 
+    def __rfloordiv__(self, other) -> "Vector":
+        return self._rbinary(other, np.floor_divide)
+
     def __mod__(self, other) -> "Vector":
         return self._binary(other, np.mod)
+
+    def __rmod__(self, other) -> "Vector":
+        return self._rbinary(other, np.mod)
 
     def __neg__(self) -> "Vector":
         return self._unary(np.negative)
@@ -216,6 +337,11 @@ class Vector:
 
     def astype(self, dtype) -> "Vector":
         """Convert element type (e.g. flags to 0/1 integers); one step."""
+        if self.machine.fusion_enabled:
+            self.machine.charge_elementwise(len(self))
+            node = LazyNode("cast", None, (self._operand(),), len(self),
+                            np.dtype(dtype))
+            return Vector._defer(self.machine, node)
         return self._unary(lambda a: a.astype(dtype))
 
     def where(self, if_true: Union["Vector", Scalar], if_false: Union["Vector", Scalar]) -> "Vector":
@@ -223,13 +349,19 @@ class Vector:
         be a flag vector.  One program step."""
         if self.dtype != np.bool_:
             raise TypeError("where() requires a boolean flag vector")
-        t = if_true._data if isinstance(if_true, Vector) else if_true
-        f = if_false._data if isinstance(if_false, Vector) else if_false
         if isinstance(if_true, Vector):
             self._check_same_machine(if_true)
         if isinstance(if_false, Vector):
             self._check_same_machine(if_false)
         self.machine.charge_elementwise(len(self))
+        if self.machine.fusion_enabled:
+            t = if_true._operand() if isinstance(if_true, Vector) else if_true
+            f = (if_false._operand() if isinstance(if_false, Vector)
+                 else if_false)
+            return self._defer_op(np.where, (self._operand(), t, f),
+                                  kind="where")
+        t = if_true._data if isinstance(if_true, Vector) else if_true
+        f = if_false._data if isinstance(if_false, Vector) else if_false
         out = self.machine.execute("elementwise", np.where, self._data, t, f,
                                    inject="elementwise")
         return self._wrap(out)

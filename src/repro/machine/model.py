@@ -20,6 +20,7 @@ complexity of Table 5.
 """
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from typing import Optional, Union
 
@@ -32,6 +33,29 @@ from .capabilities import CAPABILITIES, Capabilities
 from .counters import FaultCounters, StepCounter, StepSnapshot
 
 __all__ = ["Machine", "CapabilityError"]
+
+#: environment variable toggling lazy fusion (``0`` off / ``1`` on),
+#: mirroring ``REPRO_BACKEND``; an explicit ``Machine(fusion=...)`` wins
+FUSION_ENV_VAR = "REPRO_FUSION"
+
+_FUSION_VALUES = {"1": True, "true": True, "on": True, "yes": True,
+                  "0": False, "false": False, "off": False, "no": False}
+
+
+def _resolve_fusion(flag: Optional[bool]) -> bool:
+    """The machine's fusion setting: the explicit constructor flag if
+    given, else the ``REPRO_FUSION`` environment variable, else on."""
+    if flag is not None:
+        return bool(flag)
+    env = os.environ.get(FUSION_ENV_VAR)
+    if env is None or not env.strip():
+        return True
+    try:
+        return _FUSION_VALUES[env.strip().lower()]
+    except KeyError:
+        raise ValueError(
+            f"{FUSION_ENV_VAR} must be one of {sorted(_FUSION_VALUES)}, "
+            f"got {env!r}") from None
 
 
 class CapabilityError(RuntimeError):
@@ -88,6 +112,16 @@ class Machine:
         changes only *how* results are computed; charges, capabilities
         and fault handling are backend-independent (see
         :mod:`repro.backends`).
+    fusion:
+        Whether elementwise vector operations build lazy expression DAGs
+        fused into single ``fused_pipeline`` primitives at observable
+        boundaries (see :mod:`repro.core.lazy` and ``docs/fusion.md``).
+        ``None`` (default) honors the ``REPRO_FUSION`` environment
+        variable (``0`` / ``1``) before falling back to on.  Step charges
+        are bit-identical either way — fusion changes execution, never
+        the cost model.  Fusion is suspended automatically while a
+        ``fault_injector`` is attached (injection targets individual
+        eager primitives).
 
     Examples
     --------
@@ -110,6 +144,7 @@ class Machine:
         reliability=None,
         fault_injector=None,
         backend: Optional[Union[str, Backend]] = None,
+        fusion: Optional[bool] = None,
     ) -> None:
         if model not in CAPABILITIES:
             raise ValueError(
@@ -121,6 +156,8 @@ class Machine:
         self.capabilities: Capabilities = CAPABILITIES[model]
         #: the execution backend computing every primitive (see ``execute``)
         self.backend: Backend = resolve_backend(backend)
+        #: lazy-fusion setting (see ``fusion_enabled`` for the live gate)
+        self.fusion: bool = _resolve_fusion(fusion)
         self.num_processors = num_processors
         self.allow_concurrent_write = allow_concurrent_write
         self.counter = StepCounter()
@@ -151,6 +188,8 @@ class Machine:
         _metrics.counter("machine.instances").inc()
         self._metric_scan_invocations = _metrics.counter("scan.invocations")
         self._metric_scan_n = _metrics.histogram("scan.n")
+        self._metric_fused_pipelines = _metrics.counter("fusion.pipelines")
+        self._metric_fused_steps = _metrics.counter("fusion.fused_steps")
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -172,6 +211,15 @@ class Machine:
         """Processor-step complexity: ``processors * steps`` (Table 5)."""
         return self.processors * self.steps
 
+    @property
+    def fusion_enabled(self) -> bool:
+        """Whether elementwise ops defer into lazy DAGs right now: the
+        machine's ``fusion`` setting, suspended while a fault injector is
+        attached (the injector's schedule addresses individual eager
+        primitives, so fused execution would change which outputs it
+        corrupts)."""
+        return self.fusion and self.fault_injector is None
+
     def reset(self) -> None:
         """Zero all counters and clear the degraded-scan latch (the RNG
         state and any attached injector's schedule position are kept)."""
@@ -191,8 +239,10 @@ class Machine:
 
     def snapshot(self) -> StepSnapshot:
         """A point-in-time reading, stamped with the active backend's name
-        so profile reports and failure messages identify the engine."""
-        return self.counter.snapshot(backend=self.backend.name)
+        and fusion setting so profile reports and failure messages
+        identify the engine configuration."""
+        return self.counter.snapshot(backend=self.backend.name,
+                                     fusion=self.fusion)
 
     @contextmanager
     def measure(self):
@@ -214,7 +264,9 @@ class Machine:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         p = self.num_processors if self.num_processors is not None else "n"
         return (f"Machine(model={self.model!r}, p={p}, "
-                f"backend={self.backend.name!r}, steps={self.steps})")
+                f"backend={self.backend.name!r}, "
+                f"fusion={'on' if self.fusion else 'off'}, "
+                f"steps={self.steps})")
 
     # ------------------------------------------------------------------ #
     # Execution dispatch
@@ -238,6 +290,18 @@ class Machine:
         if inject is not None and self.fault_injector is not None:
             out = self.fault_injector.corrupt_primitive(inject, out)
         return out
+
+    def execute_fused(self, plan):
+        """Run one compiled :class:`~repro.backends.plan.FusedPlan`.
+
+        The plan's logical charges were paid op by op when the lazy
+        expression was built (see :mod:`repro.core.lazy`), so this only
+        executes — through the same dispatch as every primitive, which is
+        where observers see the pipeline's wall time and true temp
+        bytes — and counts the pipeline in the process-wide metrics."""
+        self._metric_fused_pipelines.inc()
+        self._metric_fused_steps.inc(len(plan.steps))
+        return self.execute("fused_pipeline", plan)
 
     # ------------------------------------------------------------------ #
     # Cost formulas

@@ -30,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
 from ..core import scans, segmented
 from . import oracle as _oracle
 from .corpus import Materialized
@@ -40,6 +42,9 @@ __all__ = ["OpSpec", "OPS", "DTYPES_FULL"]
 DTYPES_FULL = ("int8", "int16", "uint8", "uint32", "int64", "bool",
                "float64")
 _BOOL_ONLY = ("bool",)
+#: NumPy defines no boolean subtract, so reflected-arithmetic chains
+#: fuzz over the numeric grid only
+_DTYPES_NO_BOOL = tuple(d for d in DTYPES_FULL if d != "bool")
 
 
 @dataclass(frozen=True)
@@ -47,7 +52,7 @@ class OpSpec:
     """How to run, check, and generate inputs for one exported operation."""
 
     name: str
-    family: str                  #: "scan" | "reduce" | "distribute" | "segmented"
+    family: str                  #: "scan" | "reduce" | "distribute" | "segmented" | "fused"
     run: Callable                #: (Machine, Materialized) -> ndarray | scalar
     oracle: Callable             #: (Materialized) -> ndarray | scalar
     dtypes: tuple
@@ -174,3 +179,67 @@ _register(OpSpec(name="seg_split", family="segmented", run=_seg_split,
 _register(OpSpec(name="seg_split3", family="segmented", run=_seg_split3,
                  oracle=_orc("seg_split3"), dtypes=DTYPES_FULL,
                  segmented=True, n_flags=2))
+
+# ------------------------- fused pipelines ----------------------------- #
+# Elementwise chains ending (or not) in a primitive scan, exercised
+# through the public Vector operators so the lazy DAG / fused-plan path is
+# on the differential surface: the runner executes every op under both
+# fusion settings on every engine and demands identical results *and*
+# charges (see runner._run_materialized).
+
+
+def _fused_square_plus_scan(m, mat: Materialized):
+    v = m.vector(mat.values)
+    return scans.plus_scan(v * v + v).data
+
+
+def _fused_where_max_scan(m, mat: Materialized):
+    v = m.vector(mat.values)
+    return scans.max_scan(m.flags(mat.flags).where(v, 0)).data
+
+
+def _fused_compare_chain(m, mat: Materialized):
+    v = m.vector(mat.values)
+    return ((v * 2 >= v) & (v != 0)).data
+
+
+def _fused_reflected_plus_scan(m, mat: Materialized):
+    v = m.vector(mat.values)
+    return scans.plus_scan((10 - v) * 2 + (5 + v)).data
+
+
+def _fused_cast_plus_scan(m, mat: Materialized):
+    v = m.vector(mat.values)
+    return scans.plus_scan(v.astype(np.float64)).data
+
+
+_register(OpSpec(name="fused_square_plus_scan", family="fused",
+                 run=_fused_square_plus_scan,
+                 oracle=_orc("fused_square_plus_scan"),
+                 dtypes=DTYPES_FULL, additive=True))
+
+_register(OpSpec(name="fused_where_max_scan", family="fused",
+                 run=_fused_where_max_scan,
+                 oracle=_orc("fused_where_max_scan"),
+                 dtypes=DTYPES_FULL, n_flags=1))
+
+_register(OpSpec(name="fused_compare_chain", family="fused",
+                 run=_fused_compare_chain,
+                 oracle=_orc("fused_compare_chain"),
+                 dtypes=DTYPES_FULL))
+
+_register(OpSpec(name="fused_reflected_plus_scan", family="fused",
+                 run=_fused_reflected_plus_scan,
+                 oracle=_orc("fused_reflected_plus_scan"),
+                 dtypes=_DTYPES_NO_BOOL, additive=True))
+
+# int64 is excluded: its extremes round when cast to float64, and the
+# scan's catastrophic cancellation then exceeds any honest tolerance on
+# the blocked schedule (eager and fused alike); the remaining dtypes sum
+# exactly in float64 at corpus lengths
+_register(OpSpec(name="fused_cast_plus_scan", family="fused",
+                 run=_fused_cast_plus_scan,
+                 oracle=_orc("fused_cast_plus_scan"),
+                 dtypes=("int8", "int16", "uint8", "uint32", "bool",
+                         "float64"),
+                 additive=True))

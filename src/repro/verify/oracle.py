@@ -352,6 +352,49 @@ def seg_flag_from_neighbor_change(mat: Materialized) -> np.ndarray:
     return out
 
 
+# --------------------------------------------------------------------- #
+# Fused elementwise chains (the eager-vs-lazy differential surface).
+# Each oracle computes the chain with whole-array NumPy calls — the same
+# ufuncs in the same order the Vector operators issue, so the expected
+# values are exact — then defers to the serial scan oracle for the
+# terminal.
+# --------------------------------------------------------------------- #
+
+def _chain(mat: Materialized, w: np.ndarray) -> Materialized:
+    return Materialized(w, mat.seg_flags, mat.flags, mat.flags2)
+
+
+def fused_square_plus_scan(mat: Materialized) -> np.ndarray:
+    v = mat.values
+    with np.errstate(all="ignore"):
+        w = np.add(np.multiply(v, v), v)
+    return plus_scan(_chain(mat, w))
+
+
+def fused_where_max_scan(mat: Materialized) -> np.ndarray:
+    f = np.asarray(mat.flags, dtype=bool)
+    w = np.where(f, mat.values, 0)
+    return max_scan(_chain(mat, w))
+
+
+def fused_compare_chain(mat: Materialized) -> np.ndarray:
+    v = mat.values
+    with np.errstate(all="ignore"):
+        return np.logical_and(np.greater_equal(np.multiply(v, 2), v),
+                              np.not_equal(v, 0))
+
+
+def fused_reflected_plus_scan(mat: Materialized) -> np.ndarray:
+    v = mat.values
+    with np.errstate(all="ignore"):
+        w = np.add(np.multiply(np.subtract(10, v), 2), np.add(5, v))
+    return plus_scan(_chain(mat, w))
+
+
+def fused_cast_plus_scan(mat: Materialized) -> np.ndarray:
+    return plus_scan(_chain(mat, mat.values.astype(np.float64)))
+
+
 #: oracle function per operation name (keys match ``opset.OPS``)
 ORACLES = {
     name: fn for name, fn in list(globals().items())

@@ -107,6 +107,63 @@ class TestElementwise:
         assert abs(v).to_list() == [3, 4]
 
 
+class TestReflectedOperators:
+    """scalar <op> vector for the division family, including the dtype
+    boundaries NumPy promotion dictates."""
+
+    def test_rtruediv_promotes_ints_to_float(self, scan_machine):
+        v = scan_machine.vector([1, 2, 4])
+        out = 10 / v
+        assert out.dtype == np.float64
+        assert out.to_list() == [10.0, 5.0, 2.5]
+
+    def test_rtruediv_on_floats(self, scan_machine):
+        v = scan_machine.vector([0.5, 2.0])
+        assert (1.0 / v).to_list() == [2.0, 0.5]
+
+    def test_rfloordiv_keeps_integer_dtype(self, scan_machine):
+        v = scan_machine.vector(np.array([3, 4, 7], dtype=np.uint8))
+        out = 10 // v
+        assert out.dtype == np.uint8
+        assert out.to_list() == [3, 2, 1]
+
+    def test_rfloordiv_negative_rounds_toward_minus_inf(self, scan_machine):
+        v = scan_machine.vector([3, -3])
+        assert (10 // v).to_list() == [3, -4]
+
+    def test_rmod_follows_divisor_sign(self, scan_machine):
+        v = scan_machine.vector([3, -3, 7])
+        out = 10 % v
+        assert out.dtype == np.int64
+        assert out.to_list() == [1, -2, 3]
+
+    def test_rmod_float_promotion(self, scan_machine):
+        v = scan_machine.vector([2.5, 4.0])
+        out = 10 % v
+        assert out.dtype == np.float64
+        assert out.to_list() == [0.0, 2.0]
+
+    def test_reflected_matches_eager_machine(self, scan_machine):
+        """The deferred reflected ops agree with a fusion-off machine."""
+        from repro import Machine
+        eager = Machine("scan", fusion=False)
+        for xs in ([2, 3, 6], np.array([7, 8], dtype=np.int16)):
+            lazy_out = (100 // (10 % (1 + scan_machine.vector(xs))))
+            eager_out = (100 // (10 % (1 + eager.vector(xs))))
+            assert lazy_out.dtype == eager_out.dtype
+            assert lazy_out.to_list() == eager_out.to_list()
+
+    def test_narrow_dtype_scalar_boundary(self, scan_machine):
+        # NEP 50: an in-range python-int scalar adopts the vector dtype;
+        # an out-of-range one is rejected at build, same as eager NumPy
+        v = scan_machine.vector(np.array([100, 200], dtype=np.uint8))
+        out = 250 - v
+        assert out.dtype == np.uint8
+        assert out.to_list() == [150, 50]
+        with pytest.raises(OverflowError):
+            300 - v
+
+
 class TestPermute:
     def test_paper_permute_example(self, scan_machine):
         a = scan_machine.vector([10, 11, 12, 13, 14, 15, 16, 17])
