@@ -1,0 +1,247 @@
+"""Scan-as-a-service throughput: batched vs eager per-request execution.
+
+Not a paper table — the serving layer's health check, and the receipt
+for the PR's acceptance bar: coalescing concurrent small scans into
+segmented mega-ops must at least **double** throughput over the
+unbatched per-request path.  Three measurements:
+
+1. **Engine level** — k identical 1k-element +-scans through
+   :meth:`BatchEngine.run_solo` one by one, versus the same requests
+   fused into mega-ops of 64 via :meth:`BatchEngine.run_group`.  No
+   sockets, no JSON: this isolates exactly what batching buys (one
+   machine dispatch and one backend pass amortized over 64 requests) and
+   carries the >= 2x assertion.
+2. **Cost model** — the same comparison in program steps: the segmented
+   mega-op charges one scan's steps for the whole group, so
+   steps-per-request collapses by ~the occupancy.  This is the paper's
+   argument (k independent scans = one segmented primitive) stated as a
+   meter reading.
+3. **End to end** — thousands of simulated concurrent clients (client
+   coroutines multiplexed over pipelined connections) against a live
+   server, once with batching disabled (``max_batch=1``, the eager
+   path) and once with the default batcher; wall-clock throughput,
+   occupancy, and latency quantiles reported from the server's own SLO
+   accounting.  JSON framing and the event loop dominate here, so this
+   row reports the *service* win honestly rather than re-asserting the
+   engine ratio.
+
+Run standalone (``python benchmarks/bench_serve.py [--smoke]``) or under
+pytest (``pytest benchmarks/bench_serve.py``).
+"""
+import argparse
+import asyncio
+import sys
+import time
+
+import numpy as np
+
+from repro.serve import BatchEngine, SERVABLE_OPS, ScanServer, ServeClient, \
+    ServeConfig
+
+from _common import fmt_row, write_report
+
+_report_lines: dict = {}
+
+
+def _publish(section: str, lines: list) -> None:
+    _report_lines[section] = lines
+    flat = []
+    for ls in _report_lines.values():
+        flat.extend(ls + [""])
+    write_report("serve", flat[:-1])
+
+
+# --------------------------------------------------------------------- #
+# 1 + 2: engine-level wall clock and cost-model steps
+# --------------------------------------------------------------------- #
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _measure_one_size(requests: int, n: int, max_batch: int):
+    spec = SERVABLE_OPS["plus_scan"]
+    engine = BatchEngine()
+    rng = np.random.default_rng(0)
+    vecs = [rng.integers(-(1 << 40), 1 << 40, size=n, dtype=np.int64)
+            for _ in range(requests)]
+
+    solo_outs, batched_outs = [], []
+    steps = {"solo": 0, "batched": 0}
+
+    def run_solo():
+        solo_outs.clear()
+        steps["solo"] = 0
+        for v in vecs:
+            out, s = engine.run_solo(spec, v, None)
+            solo_outs.append(out)
+            steps["solo"] += s
+
+    def run_batched():
+        batched_outs.clear()
+        steps["batched"] = 0
+        for i in range(0, requests, max_batch):
+            parts = [(v, None) for v in vecs[i:i + max_batch]]
+            outs, s, _ = engine.run_group(spec, parts)
+            batched_outs.extend(outs)
+            steps["batched"] += s
+
+    t_solo = _best_of(run_solo)
+    t_batched = _best_of(run_batched)
+    for a, b in zip(solo_outs, batched_outs):
+        assert np.array_equal(a, b), "batching changed a result"
+    return t_solo, t_batched, steps["solo"], steps["batched"]
+
+
+def engine_comparison(requests: int = 256, max_batch: int = 64,
+                      sizes=(64, 128, 256, 512, 1000)):
+    """Sweep request sizes; return {n: speedup}.  Small requests are the
+    serving scenario (that is what concurrent clients send and what the
+    batcher coalesces); large ones show the win eroding as the segmented
+    construction's constant factor catches up with per-request overhead
+    — the honest crossover, reported rather than hidden."""
+    widths = (8, 12, 12, 14, 14, 12)
+    lines = [
+        f"engine: {requests} int64 plus_scans per row, mega-ops of "
+        f"{max_batch}, best of 3",
+        fmt_row(("n", "solo s", "batched s", "solo req/s",
+                 "batched req/s", "speedup"), widths),
+    ]
+    speedups = {}
+    for n in sizes:
+        t_solo, t_batched, s_solo, s_batched = _measure_one_size(
+            requests, n, max_batch)
+        speedups[n] = t_solo / t_batched
+        lines.append(fmt_row(
+            (n, f"{t_solo:.4f}", f"{t_batched:.4f}",
+             f"{requests / t_solo:,.0f}", f"{requests / t_batched:,.0f}",
+             f"{speedups[n]:.1f}x"), widths))
+    lines.append(f"cost model: steps/request {s_solo / requests:.1f} solo "
+                 f"-> {s_batched / requests:.3f} batched "
+                 f"({s_solo / max(s_batched, 1):.1f}x fewer)")
+    _publish("engine", lines)
+    return speedups
+
+
+def test_batched_engine_throughput_at_least_2x():
+    """The acceptance bar: on small requests (the serving workload)
+    batched throughput >= 2x the per-request path, bit-identically."""
+    speedups = engine_comparison(sizes=(64, 128, 256))
+    for n, speedup in speedups.items():
+        assert speedup >= 2.0, f"n={n}: batched speedup {speedup:.2f}x"
+
+
+# --------------------------------------------------------------------- #
+# 3: end-to-end socket path, eager vs batched
+# --------------------------------------------------------------------- #
+
+async def _drive(config: ServeConfig, clients: int, requests_each: int,
+                 connections: int, n: int):
+    """``clients`` simulated client coroutines over ``connections``
+    pipelined sockets; returns (wall seconds, SLO snapshot)."""
+    server = ScanServer(config)
+    await server.start()
+    try:
+        conns = [await ServeClient.connect("127.0.0.1", server.port)
+                 for _ in range(connections)]
+        rng = np.random.default_rng(1)
+        vecs = [rng.integers(-1000, 1000, size=n, dtype=np.int64)
+                for _ in range(64)]
+
+        async def one_client(i: int):
+            conn = conns[i % connections]
+            for r in range(requests_each):
+                await conn.scan("plus_scan", vecs[(i + r) % len(vecs)])
+
+        t0 = time.perf_counter()
+        await asyncio.gather(*[one_client(i) for i in range(clients)])
+        wall = time.perf_counter() - t0
+        for c in conns:
+            await c.close()
+        return wall, server.stats.snapshot()
+    finally:
+        await server.shutdown()
+
+
+def socket_comparison(clients: int, requests_each: int, connections: int,
+                      n: int = 512):
+    total = clients * requests_each
+    # cache off so every request is real work; huge queue so admission
+    # never throttles the comparison
+    common = dict(port=0, cache_entries=0, max_pending=1 << 20)
+    eager_cfg = ServeConfig(batch_window=0.0, max_batch=1, **common)
+    batched_cfg = ServeConfig(batch_window=0.005, max_batch=64, **common)
+
+    wall_e, snap_e = asyncio.run(_drive(eager_cfg, clients, requests_each,
+                                        connections, n))
+    wall_b, snap_b = asyncio.run(_drive(batched_cfg, clients, requests_each,
+                                        connections, n))
+
+    widths = (10, 10, 12, 11, 11, 11, 10)
+    lines = [
+        f"end-to-end: {clients} simulated clients x {requests_each} "
+        f"requests of {n} int64 elements over {connections} connections",
+        fmt_row(("path", "wall s", "req/s", "occupancy", "steps/req",
+                 "p50 ms", "p99 ms"), widths),
+    ]
+    for label, wall, snap in (("eager", wall_e, snap_e),
+                              ("batched", wall_b, snap_b)):
+        assert snap["ok"] == total and snap["errors"] == 0, snap
+        lines.append(fmt_row(
+            (label, f"{wall:.3f}", f"{total / wall:,.0f}",
+             snap["mean_batch_occupancy"], snap["steps_per_request"],
+             snap["latency_p50_ms"], snap["latency_p99_ms"]), widths))
+    lines.append(f"service speedup = {wall_e / wall_b:.2f}x   "
+                 f"(JSON framing amortizes; the engine table above is "
+                 f"the isolated batching win)")
+    _publish("socket", lines)
+    return wall_e / wall_b, snap_b
+
+
+def test_socket_path_batches_under_load():
+    """The live server visibly batches under concurrent load and stays
+    error-free; occupancy is the lever the engine table proved out."""
+    _, snap = socket_comparison(clients=200, requests_each=1,
+                                connections=16)
+    assert snap["mean_batch_occupancy"] > 1.0, snap
+
+
+# --------------------------------------------------------------------- #
+# Standalone entry point (CI smoke + full runs)
+# --------------------------------------------------------------------- #
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI-sized run: fewer clients, same assertions")
+    args = ap.parse_args(argv)
+
+    speedups = engine_comparison(
+        sizes=(64, 128, 256) if args.smoke else (64, 128, 256, 512, 1000))
+    if args.smoke:
+        service_speedup, snap = socket_comparison(
+            clients=200, requests_each=1, connections=16)
+    else:
+        service_speedup, snap = socket_comparison(
+            clients=2000, requests_each=2, connections=64)
+
+    small = min(speedups[n] for n in (64, 128, 256))
+    print(f"\nengine speedup (small requests) >= {small:.1f}x, "
+          f"service speedup {service_speedup:.2f}x, "
+          f"occupancy {snap['mean_batch_occupancy']}")
+    if small < 2.0:
+        print("FAIL: batched engine throughput below 2x", file=sys.stderr)
+        return 1
+    if snap["mean_batch_occupancy"] <= 1.0:
+        print("FAIL: server did not batch under load", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

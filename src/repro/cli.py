@@ -15,6 +15,8 @@
     python -m repro profile mst --backend blocked --export chrome
     python -m repro verify --seed 0 --cases 500   # differential fuzz
     python -m repro verify --backends numpy,distributed:2:1 --chaos-seed 7
+    python -m repro serve               # scan-as-a-service (docs/serving.md)
+    python -m repro serve --selfcheck   # serve, verify a workload, exit
 
 The heavyweight regeneration (wall-clock timing included) lives in
 ``pytest benchmarks/ --benchmark-only``; this CLI prints the step/cycle
@@ -419,6 +421,85 @@ def _profile(args) -> None:
         print(text)
 
 
+def _serve(args) -> int:
+    import asyncio
+    import json
+
+    from .serve import ScanServer, ServeClient, ServeConfig
+
+    config = ServeConfig(
+        host=args.host, port=args.port, backend=args.backend,
+        batch_window=args.window, max_batch=args.max_batch,
+        max_pending=args.max_pending, cache_entries=args.cache,
+        quota_budget=args.budget, quota_refill_per_s=args.refill)
+
+    async def _selfcheck() -> int:
+        """Start the server, push a mixed concurrent workload through it,
+        check every answer against a serial machine, print the SLO
+        snapshot.  Exit 0 iff everything came back bit-identical."""
+        from .core import scans, segmented
+        from .machine.model import Machine
+
+        server = ScanServer(config)
+        await server.start()
+        rng = np.random.default_rng(7)
+        vecs = [rng.integers(-99, 99, size=257, dtype=np.int64)
+                for _ in range(48)]
+        clients = [await ServeClient.connect(args.host, server.port)
+                   for _ in range(8)]
+        jobs = [clients[i % len(clients)].scan("plus_scan", v)
+                for i, v in enumerate(vecs)]
+        seg_v = rng.integers(0, 9, size=30, dtype=np.int64)
+        jobs.append(clients[0].scan("seg_max_scan", seg_v,
+                                    seg_lengths=[10, 5, 15]))
+        outs = await asyncio.gather(*jobs)
+
+        failures = 0
+        m = Machine("scan")
+        for v, out in zip(vecs, outs):
+            if not np.array_equal(scans.plus_scan(m.vector(v)).data, out):
+                failures += 1
+        flags = np.zeros(30, dtype=bool)
+        flags[[0, 10, 15]] = True
+        if not np.array_equal(
+                segmented.seg_max_scan(m.vector(seg_v),
+                                       m.flags(flags)).data, outs[-1]):
+            failures += 1
+
+        snap = server.stats.snapshot()
+        for c in clients:
+            await c.close()
+        await server.shutdown()
+        print(json.dumps(snap, indent=2))
+        if failures:
+            print(f"selfcheck FAILED: {failures} responses diverged "
+                  f"from the serial machine")
+            return 1
+        print(f"selfcheck ok: {snap['ok']} responses bit-identical, "
+              f"mean batch occupancy {snap['mean_batch_occupancy']}")
+        return 0
+
+    async def _serve_until_interrupt() -> int:
+        server = ScanServer(config)
+        await server.start()
+        print(f"serving on {args.host}:{server.port} "
+              f"(backend={args.backend or 'REPRO_BACKEND/default'}, "
+              f"window={args.window * 1e3:.1f}ms, "
+              f"max_batch={args.max_batch})")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.shutdown()
+            print(json.dumps(server.stats.snapshot(), indent=2))
+        return 0
+
+    try:
+        return asyncio.run(_selfcheck() if args.selfcheck
+                           else _serve_until_interrupt())
+    except KeyboardInterrupt:
+        return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -522,6 +603,34 @@ def main(argv: list[str] | None = None) -> int:
                     help="per-shard-dispatch kill probability under "
                          "--chaos-seed")
     pv.set_defaults(func=_verify)
+
+    ps = sub.add_parser(
+        "serve",
+        help="scan-as-a-service: asyncio server with segmented-scan "
+             "request batching (see docs/serving.md)")
+    ps.add_argument("--host", default="127.0.0.1")
+    ps.add_argument("--port", type=int, default=8787,
+                    help="TCP port (0 binds an ephemeral port)")
+    ps.add_argument("--backend", default=None,
+                    help="execution backend spec (numpy, blocked, "
+                         "distributed:<workers>:<chunks>, ...); default "
+                         "honors REPRO_BACKEND")
+    ps.add_argument("--window", type=float, default=0.002,
+                    help="batching window in seconds")
+    ps.add_argument("--max-batch", type=int, default=64,
+                    help="most requests coalesced into one mega-op")
+    ps.add_argument("--max-pending", type=int, default=1024,
+                    help="admission bound before 'overloaded' errors")
+    ps.add_argument("--cache", type=int, default=1024,
+                    help="result-cache entries (0 disables)")
+    ps.add_argument("--budget", type=int, default=None,
+                    help="per-tenant step budget (default: unmetered)")
+    ps.add_argument("--refill", type=float, default=0.0,
+                    help="steps per second the budget refills")
+    ps.add_argument("--selfcheck", action="store_true",
+                    help="start, drive a concurrent workload, verify "
+                         "against the serial machine, print SLOs, exit")
+    ps.set_defaults(func=_serve)
 
     pf = sub.add_parser("faults",
                         help="fault injection: detect / mask / degrade")

@@ -1,0 +1,87 @@
+"""Result caching keyed on input digests.
+
+Scan workloads repeat: the same prefix-sum over the same vector arrives
+from many clients (dashboards re-rendering, retries, idempotent
+pipelines).  Results here are pure functions of ``(op, dtype, values,
+segment layout)``, so a digest of exactly those bytes is a sound cache
+key — there is no state to invalidate, only capacity to manage (LRU).
+
+A hit skips machine execution entirely and is metered at **zero steps**
+(no work was done; the cost model should say so).  The stored array is
+returned as a read-only copy each time so a cached response can never be
+corrupted by a later caller.
+"""
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["CachedResult", "ResultCache"]
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """One cached response payload."""
+
+    values: np.ndarray
+    steps: int                 #: what the original execution charged
+
+
+class ResultCache:
+    """A bounded LRU of digest -> :class:`CachedResult`.
+
+    ``max_entries <= 0`` disables caching (every lookup misses, nothing
+    is stored), so the server can carry one unconditional code path.
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[str, CachedResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key(op: str, values: np.ndarray,
+            seg_lengths: Optional[tuple]) -> str:
+        """The input digest: op name, dtype, shape, raw bytes, layout."""
+        h = hashlib.sha256()
+        h.update(op.encode())
+        h.update(str(values.dtype).encode())
+        h.update(str(len(values)).encode())
+        h.update(np.ascontiguousarray(values).tobytes())
+        if seg_lengths is not None:
+            h.update(np.asarray(seg_lengths, dtype=np.int64).tobytes())
+        return h.hexdigest()
+
+    def get(self, key: str) -> Optional[CachedResult]:
+        if self.max_entries <= 0:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return CachedResult(entry.values.copy(), entry.steps)
+
+    def put(self, key: str, values: np.ndarray, steps: int) -> None:
+        if self.max_entries <= 0:
+            return
+        self._entries[key] = CachedResult(np.asarray(values).copy(),
+                                          int(steps))
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def snapshot(self) -> dict:
+        total = self.hits + self.misses
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": round(self.hits / total, 4) if total else 0.0}

@@ -1,0 +1,153 @@
+"""An asyncio client for the scan service.
+
+One :class:`ServeClient` holds one connection and pipelines requests on
+it: every call gets a fresh ``id``, a background reader task matches
+response frames back to callers by that id, and any number of
+:meth:`request` calls may be in flight at once — which is exactly the
+traffic shape the server's batcher feeds on.  The load and property
+suites, the benchmark, and the CLI selfcheck all drive the server
+through this class.
+
+    client = await ServeClient.connect("127.0.0.1", port)
+    out = await client.scan("plus_scan", [2, 1, 2])   # ndarray
+    await client.close()
+
+:meth:`request` returns the raw response dict; :meth:`scan` decodes a
+successful response into an ndarray and raises :class:`ServeError` (with
+the structured ``code``) on an error response.
+"""
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .protocol import decode_values, encode_values
+
+__all__ = ["ServeError", "ServeClient"]
+
+
+class ServeError(Exception):
+    """A structured error response, surfaced client-side."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class ServeClient:
+    """One pipelined connection to a :class:`~repro.serve.server.ScanServer`."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+        self._waiting: dict = {}
+        self._closed = False
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int,
+                      limit: int = 32 << 20) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port,
+                                                       limit=limit)
+        return cls(reader, writer)
+
+    # ------------------------------------------------------------------ #
+    # The read side: one task, frames dispatched by id
+    # ------------------------------------------------------------------ #
+
+    async def _read_loop(self) -> None:
+        exc: Optional[Exception] = None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                frame = json.loads(line)
+                fut = self._waiting.pop(frame.get("id"), None)
+                if fut is not None and not fut.done():
+                    fut.set_result(frame)
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.CancelledError, ValueError) as caught:
+            exc = (caught if isinstance(caught, Exception)
+                   else ConnectionResetError("connection task cancelled"))
+        # whoever is still waiting will never get a frame: fail them
+        err = exc or ConnectionResetError("server closed the connection")
+        for fut in self._waiting.values():
+            if not fut.done():
+                fut.set_exception(err)
+        self._waiting.clear()
+
+    # ------------------------------------------------------------------ #
+    # Requests
+    # ------------------------------------------------------------------ #
+
+    async def send_raw(self, payload: bytes) -> None:
+        """Write raw bytes (the chaos tests speak garbage on purpose)."""
+        self._writer.write(payload)
+        await self._writer.drain()
+
+    async def request(self, op: str, values=None, *, dtype=None,
+                      seg_lengths: Optional[Sequence[int]] = None,
+                      tenant: Optional[str] = None,
+                      extra: Optional[dict] = None) -> dict:
+        """One request -> the raw response dict (pipelining-safe)."""
+        self._next_id += 1
+        req_id = self._next_id
+        obj: dict = {"id": req_id, "op": op}
+        if values is not None:
+            arr = np.asarray(values) if dtype is None \
+                else np.asarray(values, dtype=np.dtype(dtype))
+            obj["dtype"] = str(arr.dtype)
+            obj["values"] = encode_values(arr)
+        if seg_lengths is not None:
+            obj["seg_lengths"] = [int(x) for x in seg_lengths]
+        if tenant is not None:
+            obj["tenant"] = tenant
+        if extra:
+            obj.update(extra)
+
+        if self._reader_task.done():
+            raise ConnectionResetError("connection already closed")
+        fut = asyncio.get_running_loop().create_future()
+        self._waiting[req_id] = fut
+        self._writer.write(
+            (json.dumps(obj, separators=(",", ":")) + "\n").encode())
+        await self._writer.drain()
+        return await fut
+
+    async def scan(self, op: str, values, *, dtype=None,
+                   seg_lengths: Optional[Sequence[int]] = None,
+                   tenant: Optional[str] = None) -> np.ndarray:
+        """One request -> the result vector, or :class:`ServeError`."""
+        frame = await self.request(op, values, dtype=dtype,
+                                   seg_lengths=seg_lengths, tenant=tenant)
+        if not frame.get("ok"):
+            err = frame.get("error") or {}
+            raise ServeError(err.get("code", "internal"),
+                             err.get("message", "unspecified error"))
+        return decode_values(frame["values"], frame["dtype"])
+
+    async def ping(self) -> bool:
+        frame = await self.request("ping")
+        return bool(frame.get("pong"))
+
+    async def stats(self) -> dict:
+        """The server's SLO snapshot (stats admin op)."""
+        return await self.request("stats")
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        await self._reader_task

@@ -1,0 +1,159 @@
+"""The server's SLO instruments: latency, occupancy, steps/request.
+
+Two sinks, one publish path.  Every event goes to the process-wide
+:mod:`repro.observe` registry (the ``serve.*`` namespace, so ``python -m
+repro profile``-style tooling and the existing exporters see the server
+like any other subsystem), and to a :class:`ServerStats` reservoir owned
+by the server instance, which keeps exact recent latencies for true
+p50/p99 (the registry's power-of-two histograms answer "what order of
+magnitude", not "what quantile").
+
+Registry namespace:
+
+===============================  =======================================
+``serve.requests``               compute requests admitted
+``serve.responses.ok``           successful responses written
+``serve.responses.error``        structured-error responses written
+``serve.error.<code>``           errors by code (``overloaded``, ...)
+``serve.batches``                execution units dispatched (incl. solo)
+``serve.batch.occupancy``        histogram: requests per execution unit
+``serve.batch.n``                histogram: elements per execution unit
+``serve.steps_per_request``      histogram: metered steps per request
+``serve.latency_us``             histogram: admission->response, µs
+``serve.cache.hits/misses``      result-cache outcomes
+``serve.connections``            gauge: open client connections
+``serve.pending``                gauge: admitted, not yet executed
+``serve.degraded_batches``       mega-ops that failed and re-ran solo
+``serve.dropped_replies``        responses to already-gone clients
+===============================  =======================================
+"""
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..observe.metrics import Histogram, MetricsRegistry
+from ..observe.metrics import registry as _default_registry
+
+__all__ = ["ServeMetrics", "ServerStats", "histogram_quantile"]
+
+
+def histogram_quantile(hist: Histogram, q: float) -> Optional[float]:
+    """A quantile estimate from a power-of-two bucket histogram: walk the
+    cumulative counts to the target bucket and return its upper edge
+    (``2**k``).  Coarse by design — use it on ``serve.latency_us`` when
+    only the registry is available; the server's own reservoir gives
+    exact quantiles."""
+    if hist.count == 0:
+        return None
+    target = q * hist.count
+    seen = 0
+    for k in sorted(hist.buckets):
+        seen += hist.buckets[k]
+        if seen >= target:
+            return float(2 ** k)
+    return float(hist.max if hist.max is not None else 0)
+
+
+class ServeMetrics:
+    """Cached handles on every ``serve.*`` instrument."""
+
+    def __init__(self, registry: MetricsRegistry = _default_registry) -> None:
+        self.registry = registry
+        c, g, h = registry.counter, registry.gauge, registry.histogram
+        self.requests = c("serve.requests")
+        self.responses_ok = c("serve.responses.ok")
+        self.responses_error = c("serve.responses.error")
+        self.batches = c("serve.batches")
+        self.batch_occupancy = h("serve.batch.occupancy")
+        self.batch_n = h("serve.batch.n")
+        self.steps_per_request = h("serve.steps_per_request")
+        self.latency_us = h("serve.latency_us")
+        self.cache_hits = c("serve.cache.hits")
+        self.cache_misses = c("serve.cache.misses")
+        self.connections = g("serve.connections")
+        self.pending = g("serve.pending")
+        self.degraded_batches = c("serve.degraded_batches")
+        self.dropped_replies = c("serve.dropped_replies")
+
+    def error(self, code: str):
+        """The per-code error counter (created on first use)."""
+        return self.registry.counter(f"serve.error.{code}")
+
+
+class ServerStats:
+    """Exact per-server SLO accounting (bounded reservoirs).
+
+    The registry aggregates process-wide; this object answers for *one*
+    server instance, which is what a load test or the ``stats`` admin op
+    wants.  Latencies and occupancies keep the most recent 65536
+    observations — enough for exact p50/p99 over any test or smoke run,
+    bounded forever.
+    """
+
+    RESERVOIR = 65536
+
+    def __init__(self) -> None:
+        self.latencies: deque = deque(maxlen=self.RESERVOIR)
+        self.occupancies: deque = deque(maxlen=self.RESERVOIR)
+        self.requests = 0
+        self.ok = 0
+        self.errors = 0
+        self.batches = 0
+        self.mega_ops = 0          #: execution units with occupancy > 1
+        self.batched_requests = 0  #: requests served inside a mega-op
+        self.steps = 0
+        self.degraded = 0
+
+    # ------------------------------ feeds ------------------------------ #
+
+    def record_batch(self, occupancy: int, steps: int) -> None:
+        self.batches += 1
+        self.steps += int(steps)
+        self.occupancies.append(occupancy)
+        if occupancy > 1:
+            self.mega_ops += 1
+            self.batched_requests += occupancy
+
+    def record_latency(self, seconds: float) -> None:
+        self.latencies.append(seconds)
+
+    # ---------------------------- questions ---------------------------- #
+
+    @property
+    def mean_occupancy(self) -> float:
+        if not self.occupancies:
+            return 0.0
+        return sum(self.occupancies) / len(self.occupancies)
+
+    def latency_quantile(self, q: float) -> Optional[float]:
+        """Exact quantile (seconds) over the reservoir."""
+        if not self.latencies:
+            return None
+        ordered = sorted(self.latencies)
+        idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[idx]
+
+    def snapshot(self) -> dict:
+        """The SLO dashboard, JSON-able (served by the ``stats`` op)."""
+        p50 = self.latency_quantile(0.50)
+        p99 = self.latency_quantile(0.99)
+        responses = self.ok + self.errors
+        return {
+            "requests": self.requests,
+            "responses": responses,
+            "ok": self.ok,
+            "errors": self.errors,
+            "batches": self.batches,
+            "mega_ops": self.mega_ops,
+            "batched_requests": self.batched_requests,
+            "mean_batch_occupancy": round(self.mean_occupancy, 3),
+            "steps_total": self.steps,
+            "steps_per_request": (round(self.steps / self.ok, 3)
+                                  if self.ok else None),
+            "latency_p50_ms": (round(p50 * 1e3, 3)
+                               if p50 is not None else None),
+            "latency_p99_ms": (round(p99 * 1e3, 3)
+                               if p99 is not None else None),
+            "degraded_batches": self.degraded,
+        }

@@ -1,0 +1,247 @@
+"""The wire protocol: newline-delimited JSON frames.
+
+One request per line, one response per line, UTF-8.  The framing is the
+simplest thing that composes with ``asyncio`` streams — ``readline`` on
+the way in, one ``write`` per response on the way out — and responses
+carry the request's ``id``, so a client may pipeline many requests on one
+connection and match replies out of order (the server coalesces
+concurrent requests into batches, so reply order is explicitly *not*
+request order).
+
+Request::
+
+    {"id": 7, "op": "plus_scan", "dtype": "int64", "values": [2, 1, 2],
+     "seg_lengths": [2, 1],          # segmented ops only
+     "tenant": "team-a"}             # optional; quota accounting key
+
+Response::
+
+    {"id": 7, "ok": true, "values": [0, 2, 3], "dtype": "int64",
+     "steps": 3, "batched": 5, "cached": false}
+    {"id": 7, "ok": false, "error": {"code": "quota_exhausted",
+                                     "message": "..."}}
+
+Float specials travel as the strings ``"nan"``, ``"inf"``, ``"-inf"``
+and ``"-0.0"`` (JSON has no encoding for them), mirroring the fuzzer
+corpus convention.  Errors are always structured — a ``code`` from
+:data:`ERROR_CODES` plus a human message — so clients can branch on the
+code and humans can read the message.
+"""
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "DTYPES",
+    "ERROR_CODES",
+    "ProtocolError",
+    "ParsedRequest",
+    "decode_frame",
+    "parse_request",
+    "encode_values",
+    "decode_values",
+    "ok_frame",
+    "error_frame",
+    "info_frame",
+]
+
+#: element dtypes a request may carry (the fuzzer's adversarial grid
+#: plus the remaining fixed-width integers and float32)
+DTYPES = frozenset({
+    "bool", "int8", "int16", "int32", "int64",
+    "uint8", "uint16", "uint32", "uint64", "float32", "float64",
+})
+
+#: every structured error code a response can carry
+ERROR_CODES = frozenset({
+    "bad_request",       # malformed frame / unknown op / invalid inputs
+    "too_large",         # frame or vector over the configured limits
+    "overloaded",        # admission queue full: back off and retry
+    "quota_exhausted",   # the tenant's step budget ran dry
+    "timeout",           # the request aged out before execution
+    "shutting_down",     # server is draining; no new work admitted
+    "internal",          # execution failed for a non-client reason
+})
+
+
+class ProtocolError(Exception):
+    """A request that cannot be served, with its structured error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        assert code in ERROR_CODES, code
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+# --------------------------------------------------------------------- #
+# Value encoding (float specials survive the JSON round trip)
+# --------------------------------------------------------------------- #
+
+def _encode_one(x):
+    if isinstance(x, float):
+        if math.isnan(x):
+            return "nan"
+        if math.isinf(x):
+            return "inf" if x > 0 else "-inf"
+        if x == 0.0 and math.copysign(1.0, x) < 0:
+            return "-0.0"
+    return x
+
+
+def encode_values(arr: np.ndarray) -> list:
+    """A JSON-safe list for one vector (bools as bools, ints as ints,
+    float specials as strings)."""
+    return [_encode_one(x) for x in arr.tolist()]
+
+
+def decode_values(raw, dtype: str) -> np.ndarray:
+    """The inverse of :func:`encode_values`; raises ``ProtocolError`` on
+    anything that is not a number/bool/special-string of ``dtype``."""
+    try:
+        vals = [float(x) if isinstance(x, str) else x for x in raw]
+        return np.array(vals, dtype=np.dtype(dtype))
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise ProtocolError("bad_request",
+                            f"values do not decode as {dtype}: {exc}") from None
+
+
+# --------------------------------------------------------------------- #
+# Requests
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class ParsedRequest:
+    """One validated compute request, inputs materialized."""
+
+    id: object
+    op: str
+    values: np.ndarray
+    seg_lengths: Optional[tuple]      #: None for unsegmented ops
+    seg_flags: Optional[np.ndarray]   #: materialized from ``seg_lengths``
+    tenant: str
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+
+def decode_frame(line: bytes) -> dict:
+    """One wire line to a JSON object (``ProtocolError`` on garbage)."""
+    try:
+        obj = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError("bad_request",
+                            f"frame is not valid JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("bad_request",
+                            f"frame must be a JSON object, got "
+                            f"{type(obj).__name__}")
+    return obj
+
+
+def _seg_flags_from_lengths(lengths, n: int) -> np.ndarray:
+    flags = np.zeros(n, dtype=bool)
+    pos = 0
+    for length in lengths:
+        if not isinstance(length, int) or isinstance(length, bool) or length < 1:
+            raise ProtocolError(
+                "bad_request",
+                f"seg_lengths must be positive integers, got {length!r}")
+        if pos >= n:
+            break  # sum mismatch; reported below
+        flags[pos] = True
+        pos += length
+    if pos != n:
+        raise ProtocolError(
+            "bad_request",
+            f"seg_lengths sum to {pos}, values have length {n}")
+    return flags
+
+
+def parse_request(obj: dict, *, known_ops, max_elements: int) -> ParsedRequest:
+    """Validate one decoded frame against the op registry and limits.
+
+    ``known_ops`` maps op name -> :class:`repro.serve.batching.ServeOp`;
+    the admin ops (``ping`` / ``stats``) are handled before this is
+    called.
+    """
+    op_name = obj.get("op")
+    if not isinstance(op_name, str) or op_name not in known_ops:
+        raise ProtocolError(
+            "bad_request",
+            f"unknown op {op_name!r}; servable ops: "
+            f"{', '.join(sorted(known_ops))}")
+    spec = known_ops[op_name]
+
+    dtype = obj.get("dtype", "int64")
+    if dtype not in DTYPES:
+        raise ProtocolError("bad_request",
+                            f"unknown dtype {dtype!r}; one of "
+                            f"{', '.join(sorted(DTYPES))}")
+
+    raw = obj.get("values")
+    if not isinstance(raw, list):
+        raise ProtocolError("bad_request", "'values' must be a JSON list")
+    if len(raw) > max_elements:
+        raise ProtocolError(
+            "too_large",
+            f"vector of {len(raw)} elements exceeds the server's "
+            f"max_elements={max_elements}")
+    values = decode_values(raw, dtype)
+
+    seg_lengths = obj.get("seg_lengths")
+    seg_flags = None
+    if spec.segmented:
+        if not isinstance(seg_lengths, list):
+            raise ProtocolError(
+                "bad_request",
+                f"op {op_name!r} is segmented: 'seg_lengths' "
+                f"(a list of positive segment lengths) is required")
+        seg_flags = _seg_flags_from_lengths(seg_lengths, len(values))
+        seg_lengths = tuple(seg_lengths)
+    elif seg_lengths is not None:
+        raise ProtocolError(
+            "bad_request",
+            f"op {op_name!r} is not segmented; drop 'seg_lengths'")
+
+    tenant = obj.get("tenant", "default")
+    if not isinstance(tenant, str) or not tenant:
+        raise ProtocolError("bad_request", "'tenant' must be a non-empty "
+                                           "string")
+    return ParsedRequest(id=obj.get("id"), op=op_name, values=values,
+                         seg_lengths=seg_lengths, seg_flags=seg_flags,
+                         tenant=tenant)
+
+
+# --------------------------------------------------------------------- #
+# Responses
+# --------------------------------------------------------------------- #
+
+def _frame(payload: dict) -> bytes:
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode()
+
+
+def ok_frame(req_id, result: np.ndarray, *, steps: int, batched: int,
+             cached: bool) -> bytes:
+    return _frame({"id": req_id, "ok": True,
+                   "values": encode_values(result),
+                   "dtype": str(result.dtype),
+                   "steps": int(steps), "batched": int(batched),
+                   "cached": bool(cached)})
+
+
+def error_frame(req_id, code: str, message: str) -> bytes:
+    assert code in ERROR_CODES, code
+    return _frame({"id": req_id, "ok": False,
+                   "error": {"code": code, "message": message}})
+
+
+def info_frame(req_id, **payload) -> bytes:
+    """An admin reply (``ping`` / ``stats``)."""
+    return _frame({"id": req_id, "ok": True, **payload})

@@ -1,0 +1,115 @@
+"""Per-tenant step-budget quotas: the cost model as a metering system.
+
+The machine's program-step counter is an exact, backend-independent
+measure of work (the whole point of the paper's cost model), which makes
+it the natural metering unit for a multi-tenant service: every response
+carries the steps it was charged, and each tenant draws those steps from
+a budget.
+
+Metering is **post-paid with overdraft**: admission requires a positive
+balance, execution debits the steps actually charged (a request's share
+of its mega-op — batching makes requests *cheaper*, and the meter passes
+that saving on).  A tenant can therefore overdraw by at most one
+request, after which admission denies with a structured
+``quota_exhausted`` error until the budget refills.  Refill is a token
+bucket: ``refill_per_s`` steps per second, capped at the budget.
+
+The clock is injectable so tests (and the chaos suite) can drive refill
+deterministically.
+"""
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+__all__ = ["QuotaPolicy", "TenantMeter", "QuotaManager"]
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """``budget=None`` disables metering entirely (every tenant admitted,
+    steps still counted); otherwise each tenant starts with ``budget``
+    steps refilling at ``refill_per_s``."""
+
+    budget: Optional[int] = None
+    refill_per_s: float = 0.0
+
+
+@dataclass
+class TenantMeter:
+    """One tenant's running account."""
+
+    balance: float
+    last_refill: float
+    charged: int = 0          #: lifetime steps debited
+    requests: int = 0         #: requests admitted
+    denied: int = 0           #: admissions refused
+
+
+class QuotaManager:
+    """Admission control and step accounting for every tenant."""
+
+    def __init__(self, policy: QuotaPolicy,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.policy = policy
+        self.clock = clock
+        self._tenants: Dict[str, TenantMeter] = {}
+
+    def _meter(self, tenant: str) -> TenantMeter:
+        meter = self._tenants.get(tenant)
+        if meter is None:
+            budget = self.policy.budget
+            meter = TenantMeter(balance=float("inf") if budget is None
+                                else float(budget),
+                                last_refill=self.clock())
+            self._tenants[tenant] = meter
+        return meter
+
+    def _refill(self, meter: TenantMeter) -> None:
+        if self.policy.budget is None or self.policy.refill_per_s <= 0:
+            return
+        now = self.clock()
+        meter.balance = min(
+            float(self.policy.budget),
+            meter.balance + (now - meter.last_refill) * self.policy.refill_per_s)
+        meter.last_refill = now
+
+    def admit(self, tenant: str) -> Optional[str]:
+        """``None`` to admit; otherwise the denial message (the caller
+        wraps it in a ``quota_exhausted`` error)."""
+        meter = self._meter(tenant)
+        self._refill(meter)
+        if meter.balance > 0:
+            meter.requests += 1
+            return None
+        meter.denied += 1
+        if self.policy.refill_per_s > 0:
+            wait = -meter.balance / self.policy.refill_per_s
+            hint = f"; refills in ~{max(wait, 0.0):.1f}s"
+        else:
+            hint = "; budget does not refill"
+        return (f"tenant {tenant!r} exhausted its step budget "
+                f"(balance {meter.balance:.0f} of "
+                f"{self.policy.budget}{hint})")
+
+    def debit(self, tenant: str, steps: int) -> None:
+        """Charge ``steps`` against the tenant (post-paid)."""
+        meter = self._meter(tenant)
+        meter.charged += int(steps)
+        if self.policy.budget is not None:
+            meter.balance -= steps
+
+    def snapshot(self) -> dict:
+        """JSON-able per-tenant accounting (the ``stats`` admin op)."""
+        out = {}
+        for name in sorted(self._tenants):
+            m = self._tenants[name]
+            out[name] = {
+                "balance": (None if self.policy.budget is None
+                            else round(m.balance, 3)),
+                "charged_steps": m.charged,
+                "requests": m.requests,
+                "denied": m.denied,
+            }
+        return out

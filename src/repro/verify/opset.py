@@ -180,6 +180,36 @@ _register(OpSpec(name="seg_split3", family="segmented", run=_seg_split3,
                  oracle=_orc("seg_split3"), dtypes=DTYPES_FULL,
                  segmented=True, n_flags=2))
 
+# ------------------ batched heterogeneous segmented scans -------------- #
+# The serving mega-op shape (repro.serve.batching): the auxiliary flag
+# vector splits the case into pseudo-requests, each carrying its own
+# segment layout, and the whole batch executes as ONE segmented scan over
+# the assembled flag vector.  The oracle answers each request
+# independently, so this is the server's batching-invisibility claim on
+# the cross-backend differential surface.
+
+
+def _batched_seg(seg_fn):
+    def run(m, mat: Materialized):
+        from ..serve.batching import assemble
+
+        values, flags, _ = assemble(_oracle._request_parts(mat))
+        return seg_fn(m.vector(values), m.flags(flags)).data
+    return run
+
+
+_register(OpSpec(name="batched_seg_plus_scan", family="segmented",
+                 run=_batched_seg(segmented.seg_plus_scan),
+                 oracle=_orc("batched_seg_plus_scan"),
+                 dtypes=DTYPES_FULL, segmented=True, n_flags=1,
+                 additive=True))
+
+_register(OpSpec(name="batched_seg_max_scan", family="segmented",
+                 run=_batched_seg(segmented.seg_max_scan),
+                 oracle=_orc("batched_seg_max_scan"),
+                 dtypes=DTYPES_FULL, segmented=True, n_flags=1,
+                 nan_ok=False))
+
 # ------------------------- fused pipelines ----------------------------- #
 # Elementwise chains ending (or not) in a primitive scan, exercised
 # through the public Vector operators so the lazy DAG / fused-plan path is

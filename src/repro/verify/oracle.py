@@ -353,6 +353,40 @@ def seg_flag_from_neighbor_change(mat: Materialized) -> np.ndarray:
 
 
 # --------------------------------------------------------------------- #
+# Batched heterogeneous segmented scans (the serving mega-op shape).
+# The case's auxiliary flag vector marks *request* boundaries; each
+# request carries its own segment layout (its slice of seg_flags, head
+# forced on).  The oracle answers each request independently with the
+# serial segmented oracle and concatenates — the meaning a client sees —
+# while the opset runs the whole thing as the one fused mega-op the
+# server executes (repro.serve.batching.assemble).
+# --------------------------------------------------------------------- #
+
+def _request_parts(mat: Materialized) -> list:
+    n = len(mat.values)
+    bounds = [0] + [i for i in range(1, n) if mat.flags[i]] + [n]
+    parts = []
+    for s, e in zip(bounds, bounds[1:]):
+        sub = np.asarray(mat.seg_flags[s:e], dtype=bool).copy()
+        if len(sub):
+            sub[0] = True
+        parts.append((mat.values[s:e], sub))
+    return parts
+
+
+def _batched_seg(seg_oracle):
+    def batched(mat: Materialized) -> np.ndarray:
+        outs = [seg_oracle(Materialized(vals, flags, None, None))
+                for vals, flags in _request_parts(mat)]
+        return np.concatenate(outs)
+    return batched
+
+
+batched_seg_plus_scan = _batched_seg(seg_plus_scan)
+batched_seg_max_scan = _batched_seg(seg_max_scan)
+
+
+# --------------------------------------------------------------------- #
 # Fused elementwise chains (the eager-vs-lazy differential surface).
 # Each oracle computes the chain with whole-array NumPy calls — the same
 # ufuncs in the same order the Vector operators issue, so the expected

@@ -1,0 +1,310 @@
+"""Chaos and robustness: the server under hostile and unlucky clients.
+
+Mirrors the teardown-hygiene discipline of
+``tests/test_distributed_teardown.py``: misbehavior must be *classified*
+(a structured error code on the wire), never a crash, a hang, or a leak.
+Pinned here:
+
+* malformed JSON frames and non-object frames -> ``bad_request``, and
+  the connection keeps serving;
+* an oversized wire frame -> one ``too_large`` reply, then the server
+  hangs up (framing is unrecoverable); an oversized *vector* in a valid
+  frame -> ``too_large`` with the connection intact;
+* unknown ops, bad segment layouts, NaN sorts -> ``bad_request``;
+* quota exhaustion -> ``quota_exhausted``, and the token bucket refills
+  on an injectable clock;
+* admission past ``max_pending`` -> ``overloaded``; queued past
+  ``request_timeout`` -> ``timeout``;
+* a client that disconnects mid-stream leaves no wreckage: its work
+  completes, the undeliverable reply is counted, other clients are
+  unaffected;
+* drain-on-shutdown resolves every pending future and leaves no asyncio
+  task behind.
+"""
+import asyncio
+import json
+
+import numpy as np
+
+from repro.serve import ScanServer, ServeClient, ServeConfig, ServeError
+
+HOST = "127.0.0.1"
+
+
+async def _raw_request(port: int, payload: bytes, *, limit: int = 1 << 20):
+    """Write raw bytes, return (first response line or b'', eof_after)."""
+    reader, writer = await asyncio.open_connection(HOST, port, limit=limit)
+    writer.write(payload)
+    await writer.drain()
+    line = await reader.readline()
+    follow_up = b""
+    if line:
+        try:
+            follow_up = await asyncio.wait_for(reader.readline(), 1.0)
+        except asyncio.TimeoutError:
+            follow_up = b"open"
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+    return line, follow_up
+
+
+def test_malformed_frames_get_structured_bad_request():
+    async def main():
+        server = ScanServer(ServeConfig(port=0, batch_window=0.001))
+        await server.start()
+        try:
+            for garbage in (b"this is not json\n",
+                            b'{"op": "plus_scan", unquoted}\n',
+                            b"[1, 2, 3]\n",
+                            b'"just a string"\n'):
+                line, _ = await _raw_request(server.port, garbage)
+                frame = json.loads(line)
+                assert frame["ok"] is False
+                assert frame["error"]["code"] == "bad_request", frame
+            # a poisoned connection still serves the next valid frame
+            reader, writer = await asyncio.open_connection(HOST, server.port)
+            writer.write(b"garbage\n"
+                         b'{"id": 1, "op": "plus_scan", "dtype": "int64",'
+                         b' "values": [1, 2, 3]}\n')
+            await writer.drain()
+            first = json.loads(await reader.readline())
+            second = json.loads(await reader.readline())
+            assert first["ok"] is False
+            assert second["ok"] is True and second["values"] == [0, 1, 3]
+            writer.close()
+            await writer.wait_closed()
+        finally:
+            await server.shutdown()
+
+    asyncio.run(main())
+
+
+def test_oversized_frame_rejected_then_disconnected():
+    async def main():
+        server = ScanServer(ServeConfig(port=0, max_frame_bytes=512))
+        await server.start()
+        try:
+            big = b'{"op": "plus_scan", "values": [' \
+                  + b"1," * 4096 + b"1]}\n"
+            line, follow_up = await _raw_request(server.port, big)
+            frame = json.loads(line)
+            assert frame["ok"] is False
+            assert frame["error"]["code"] == "too_large"
+            assert follow_up == b""  # server hung up: framing was lost
+        finally:
+            await server.shutdown()
+
+    asyncio.run(main())
+
+
+def test_oversized_vector_rejected_connection_survives():
+    async def main():
+        server = ScanServer(ServeConfig(port=0, max_elements=16,
+                                        batch_window=0.001))
+        await server.start()
+        try:
+            client = await ServeClient.connect(HOST, server.port)
+            try:
+                await client.scan("plus_scan", np.arange(32))
+                raise AssertionError("expected ServeError")
+            except ServeError as err:
+                assert err.code == "too_large"
+            # same connection, conforming vector: served
+            out = await client.scan("plus_scan", np.arange(8))
+            assert np.array_equal(out, np.arange(8).cumsum() - np.arange(8))
+            await client.close()
+        finally:
+            await server.shutdown()
+
+    asyncio.run(main())
+
+
+def test_bad_inputs_are_classified_not_crashes():
+    async def main():
+        server = ScanServer(ServeConfig(port=0, batch_window=0.001))
+        await server.start()
+        try:
+            client = await ServeClient.connect(HOST, server.port)
+            for kwargs in (
+                dict(op="definitely_not_an_op", values=[1]),
+                dict(op="plus_scan", values=[1, 2],
+                     seg_lengths=[2]),              # not a segmented op
+                dict(op="seg_plus_scan", values=[1, 2, 3]),  # layout missing
+                dict(op="seg_plus_scan", values=[1, 2, 3],
+                     seg_lengths=[2, 7]),           # layout sum mismatch
+                dict(op="sort", values=[1.0, float("nan")]),  # NaN keys
+            ):
+                try:
+                    await client.scan(**kwargs)
+                    raise AssertionError(f"expected bad_request for {kwargs}")
+                except ServeError as err:
+                    assert err.code == "bad_request", (kwargs, err.code)
+            await client.close()
+        finally:
+            await server.shutdown()
+
+    asyncio.run(main())
+
+
+def test_quota_exhaustion_and_clock_driven_refill():
+    clock = {"now": 0.0}
+
+    async def main():
+        server = ScanServer(ServeConfig(
+            port=0, batch_window=0.001, cache_entries=0,
+            quota_budget=1, quota_refill_per_s=10.0,
+            quota_clock=lambda: clock["now"]))
+        await server.start()
+        try:
+            client = await ServeClient.connect(HOST, server.port)
+            # first request admitted; its debit empties the budget
+            out = await client.scan("plus_scan", [5, 6], tenant="t1")
+            assert np.array_equal(out, [0, 5])
+            try:
+                await client.scan("plus_scan", [7, 8], tenant="t1")
+                raise AssertionError("expected quota_exhausted")
+            except ServeError as err:
+                assert err.code == "quota_exhausted"
+                assert "t1" in err.message
+            # an unrelated tenant is not starved by t1's debt
+            assert len(await client.scan("plus_scan", [1], tenant="t2")) == 1
+            # advance the injectable clock far enough to refill t1
+            clock["now"] += 1000.0
+            out = await client.scan("plus_scan", [7, 8], tenant="t1")
+            assert np.array_equal(out, [0, 7])
+            await client.close()
+        finally:
+            await server.shutdown()
+
+    asyncio.run(main())
+
+
+def test_admission_backpressure_returns_overloaded():
+    async def main():
+        server = ScanServer(ServeConfig(
+            port=0, batch_window=0.2, max_pending=1, cache_entries=0))
+        await server.start()
+        try:
+            client = await ServeClient.connect(HOST, server.port)
+            results = await asyncio.gather(*[
+                client.request("plus_scan", [i, i + 1]) for i in range(6)])
+            ok = [r for r in results if r.get("ok")]
+            rejected = [r for r in results if not r.get("ok")]
+            assert ok, results
+            assert rejected, "expected at least one overloaded rejection"
+            assert all(r["error"]["code"] == "overloaded"
+                       for r in rejected), results
+            await client.close()
+        finally:
+            await server.shutdown()
+
+    asyncio.run(main())
+
+
+def test_request_timeout_classified():
+    async def main():
+        # the deadline expires while the request sits in the 100ms window
+        server = ScanServer(ServeConfig(
+            port=0, batch_window=0.1, request_timeout=0.01,
+            cache_entries=0))
+        await server.start()
+        try:
+            client = await ServeClient.connect(HOST, server.port)
+            try:
+                await client.scan("plus_scan", [1, 2, 3])
+                raise AssertionError("expected timeout")
+            except ServeError as err:
+                assert err.code == "timeout"
+            await client.close()
+        finally:
+            await server.shutdown()
+
+    asyncio.run(main())
+
+
+def test_client_disconnect_mid_stream_leaves_no_wreckage():
+    async def main():
+        server = ScanServer(ServeConfig(port=0, batch_window=0.05,
+                                        cache_entries=0))
+        await server.start()
+        dropped_before = server.metrics.dropped_replies.value
+        try:
+            # the deserter: sends work, hangs up before the answer
+            _, writer = await asyncio.open_connection(HOST, server.port)
+            writer.write(b'{"id": 1, "op": "plus_scan", "dtype": "int64",'
+                         b' "values": [1, 2, 3]}\n')
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+
+            # a loyal client on another connection is unaffected
+            client = await ServeClient.connect(HOST, server.port)
+            out = await client.scan("plus_scan", [10, 20, 30])
+            assert np.array_equal(out, [0, 10, 30])
+
+            # the deserter's work still completed and was accounted
+            deadline = asyncio.get_running_loop().time() + 5.0
+            while (server.stats.ok < 2
+                   and asyncio.get_running_loop().time() < deadline):
+                await asyncio.sleep(0.01)
+            assert server.stats.ok == 2
+            assert (server.metrics.dropped_replies.value
+                    > dropped_before)
+            await client.close()
+        finally:
+            await server.shutdown()
+        assert server.pending_count == 0
+
+    asyncio.run(main())
+
+
+def test_drain_on_shutdown_no_pending_futures_no_leaked_tasks():
+    async def main():
+        server = ScanServer(ServeConfig(port=0, batch_window=0.2,
+                                        cache_entries=0))
+        await server.start()
+        client = await ServeClient.connect(HOST, server.port)
+        # park 20 requests in the batch window, then shut down under them
+        jobs = [asyncio.ensure_future(client.scan("plus_scan",
+                                                  [i, i + 1, i + 2]))
+                for i in range(20)]
+        await asyncio.sleep(0.02)          # let them all be admitted
+        assert server.pending_count > 0
+        await server.shutdown(drain=True)
+
+        outs = await asyncio.gather(*jobs)
+        for i, out in enumerate(outs):
+            assert np.array_equal(out, [0, i, 2 * i + 1])
+        assert server.pending_count == 0
+        await client.close()
+
+        # nothing still running but this coroutine: no leaked tasks
+        leaked = [t for t in asyncio.all_tasks()
+                  if t is not asyncio.current_task() and not t.done()]
+        assert not leaked, leaked
+
+    asyncio.run(main())
+
+
+def test_shutdown_without_drain_answers_queued_work_with_goodbye():
+    async def main():
+        server = ScanServer(ServeConfig(port=0, batch_window=5.0,
+                                        cache_entries=0))
+        await server.start()
+        client = await ServeClient.connect(HOST, server.port)
+        jobs = [asyncio.ensure_future(client.request("plus_scan", [i]))
+                for i in range(5)]
+        await asyncio.sleep(0.02)
+        await server.shutdown(drain=False)
+        frames = await asyncio.gather(*jobs)
+        codes = {f["error"]["code"] for f in frames if not f.get("ok")}
+        # abandoned work is told so, in so many words — never silence
+        assert codes <= {"shutting_down"}, frames
+        assert any(not f.get("ok") for f in frames)
+        assert server.pending_count == 0
+        await client.close()
+
+    asyncio.run(main())

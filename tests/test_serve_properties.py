@@ -1,0 +1,171 @@
+"""Property suite: the server is indistinguishable from the oracle.
+
+Two layers of properties:
+
+* **Round trip** — hundreds of fuzzer-generated cases (the same
+  :func:`repro.verify.corpus.generate_cases` grid the conformance
+  fuzzer uses: every servable op, adversarial dtypes, empty vectors,
+  dtype-boundary values, float specials) fired *concurrently* through
+  one in-process server, every response compared to the serial oracle
+  under the fuzzer's own :func:`~repro.verify.runner.results_equal`
+  contract.  Concurrency means the batcher actually coalesces many of
+  these, so the comparison covers the batched path, not just solo runs.
+
+* **Engine level** (Hypothesis, no sockets) — for arbitrary groups of
+  integer vectors, :meth:`BatchEngine.run_group` is bit-identical to
+  per-request :meth:`BatchEngine.run_solo`; value encoding survives the
+  JSON round trip including specials; the quota meter never admits a
+  tenant at non-positive balance and always reconciles its accounting.
+"""
+import asyncio
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import SERVABLE_OPS, BatchEngine, ScanServer, ServeClient, \
+    ServeConfig
+from repro.serve.protocol import decode_values, encode_values
+from repro.serve.quota import QuotaManager, QuotaPolicy
+from repro.verify.corpus import generate_cases
+from repro.verify.opset import OPS
+from repro.verify.runner import results_equal
+
+#: ops on both the fuzzer's and the server's surface, whose inputs the
+#: wire protocol can carry (values + optional segment layout)
+ROUND_TRIP_OPS = sorted(
+    name for name, spec in OPS.items()
+    if name in SERVABLE_OPS and spec.n_flags == 0)
+
+
+def test_round_trip_ops_cover_the_servable_surface():
+    """The shared surface is broad: plain scans, distributes, and the
+    whole segmented family all round-trip through the server."""
+    assert len(ROUND_TRIP_OPS) >= 25
+    assert "plus_scan" in ROUND_TRIP_OPS
+    assert "seg_back_plus_scan" in ROUND_TRIP_OPS
+    assert "seg_max_distribute" in ROUND_TRIP_OPS
+
+
+def test_generated_cases_round_trip_concurrently():
+    """300 fuzzer cases -> concurrent server calls -> oracle equality
+    under the fuzzer's comparison contract (bit-exact integers,
+    tolerance only for additive floats)."""
+    cases = generate_cases(seed=2026, count=300, ops=ROUND_TRIP_OPS)
+
+    async def main():
+        server = ScanServer(ServeConfig(
+            port=0, batch_window=0.01, max_pending=4096,
+            cache_entries=256))
+        await server.start()
+        try:
+            clients = [await ServeClient.connect("127.0.0.1", server.port)
+                       for _ in range(12)]
+            outs = await asyncio.gather(*[
+                clients[i % len(clients)].scan(
+                    case.op, case.materialize().values,
+                    seg_lengths=case.seg_lengths)
+                for i, case in enumerate(cases)])
+            for c in clients:
+                await c.close()
+            return server, outs
+        finally:
+            await server.shutdown()
+
+    server, outs = asyncio.run(main())
+
+    bad = []
+    for case, out in zip(cases, outs):
+        spec = OPS[case.op]
+        expected = spec.oracle(case.materialize())
+        if not results_equal(spec, expected, out):
+            bad.append(case.describe() if hasattr(case, "describe")
+                       else (case.op, case.dtype))
+    assert not bad, f"{len(bad)} divergences, first: {bad[0]}"
+    assert server.stats.snapshot()["errors"] == 0
+
+
+# --------------------------------------------------------------------- #
+# Engine-level properties (Hypothesis)
+# --------------------------------------------------------------------- #
+
+_ENGINE = BatchEngine("numpy")
+
+group_strategy = st.lists(
+    st.lists(st.integers(-10**9, 10**9), min_size=1, max_size=40),
+    min_size=1, max_size=12)
+
+
+@given(group_strategy, st.sampled_from(["plus_scan", "max_scan",
+                                        "min_scan", "plus_distribute"]))
+@settings(max_examples=60, deadline=None)
+def test_batched_group_equals_solo_runs(group, op_name):
+    """run_group == per-request run_solo, bit for bit, any group shape."""
+    spec = SERVABLE_OPS[op_name]
+    parts = [(np.asarray(vals, dtype=np.int64), None) for vals in group]
+    results, steps, total_n = _ENGINE.run_group(spec, parts)
+    assert total_n == sum(len(v) for v, _ in parts)
+    assert steps >= 0
+    for (vals, _), got in zip(parts, results):
+        want, _ = _ENGINE.run_solo(spec, vals, None)
+        assert got.dtype == want.dtype
+        assert np.array_equal(got, want)
+
+
+@given(st.lists(st.lists(st.integers(0, 50), min_size=1, max_size=20),
+                min_size=2, max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_batched_segmented_group_equals_solo(group):
+    """Segmented requests with heterogeneous layouts fuse losslessly."""
+    spec = SERVABLE_OPS["seg_plus_scan"]
+    rng = np.random.default_rng(sum(map(len, group)))
+    parts = []
+    for vals in group:
+        flags = rng.random(len(vals)) < 0.3
+        flags[0] = True
+        parts.append((np.asarray(vals, dtype=np.int64), flags))
+    results, _, _ = _ENGINE.run_group(spec, parts)
+    for (vals, flags), got in zip(parts, results):
+        want, _ = _ENGINE.run_solo(spec, vals, flags)
+        assert np.array_equal(got, want)
+
+
+@given(st.lists(st.one_of(
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.just(-0.0)), max_size=50))
+@settings(max_examples=80, deadline=None)
+def test_float64_values_survive_the_wire(xs):
+    """encode -> JSON-safe -> decode is the identity, bits included."""
+    arr = np.asarray(xs, dtype=np.float64)
+    back = decode_values(encode_values(arr), "float64")
+    assert np.array_equal(arr, back, equal_nan=True)
+    # -0.0 keeps its sign through the string escape; NaNs are exempt —
+    # the wire spells every NaN as the canonical "nan" (payload and sign
+    # bits are not semantic anywhere in the engines)
+    finite_sign = ~np.isnan(arr)
+    assert np.array_equal(np.signbit(arr)[finite_sign],
+                          np.signbit(back)[finite_sign])
+
+
+@given(st.lists(st.tuples(st.sampled_from(["a", "b"]),
+                          st.integers(0, 40)), max_size=40),
+       st.integers(1, 100))
+@settings(max_examples=60, deadline=None)
+def test_quota_meter_reconciles(events, budget):
+    """Admission only at positive balance; debits add up exactly."""
+    quota = QuotaManager(QuotaPolicy(budget=budget), clock=lambda: 0.0)
+    charged = {"a": 0, "b": 0}
+    for tenant, steps in events:
+        balance_before = quota._meter(tenant).balance
+        denial = quota.admit(tenant)
+        if balance_before <= 0:
+            assert denial is not None
+            continue
+        assert denial is None
+        quota.debit(tenant, steps)
+        charged[tenant] += steps
+    snap = quota.snapshot()
+    for tenant, total in charged.items():
+        if tenant in snap:
+            assert snap[tenant]["charged_steps"] == total
+            assert snap[tenant]["balance"] == budget - total
