@@ -13,6 +13,10 @@ a :class:`Backend` decides how it *computes*.  Four are shipped:
   ``"distributed:<workers>[:<min_n>]"``) — shards across supervised OS
   worker processes with shared memory, a round-efficient carry exchange,
   and fault-tolerant retry/degradation (see :mod:`repro.cluster`);
+* :class:`NativeBackend` (``"native"`` / ``"native:<threads>[:<block>]"``)
+  — two-phase Blelloch upsweep/downsweep over fixed-size blocks, compiled
+  with Numba when available and falling back to a pure-NumPy block
+  schedule otherwise (see :mod:`repro.backends.native`);
 * :class:`ReferenceBackend` (``"reference"``) — pure-Python per-element
   loops, the differential-testing oracle.
 
@@ -29,6 +33,7 @@ from typing import Optional, Union
 
 from .base import Backend, OpEvent
 from .blocked import BlockedBackend
+from .native import NativeBackend
 from .numpy_backend import NumPyBackend
 from .reference import ReferenceBackend
 
@@ -41,6 +46,7 @@ __all__ = [
     "Backend",
     "BlockedBackend",
     "DistributedBackend",
+    "NativeBackend",
     "NumPyBackend",
     "OpEvent",
     "ReferenceBackend",
@@ -54,6 +60,7 @@ _REGISTRY: dict[str, type[Backend]] = {
     NumPyBackend.name: NumPyBackend,
     BlockedBackend.name: BlockedBackend,
     DistributedBackend.name: DistributedBackend,
+    NativeBackend.name: NativeBackend,
     ReferenceBackend.name: ReferenceBackend,
 }
 

@@ -323,7 +323,13 @@ class BlockedBackend(Backend):
                          identity, *, is_max: bool) -> np.ndarray:
         if len(values) == 0:
             return values.copy()
-        combine = np.maximum if is_max else np.minimum
+        # the in-chunk rank encoding orders NaN as a largest value, so the
+        # cross-chunk min carry must too: np.fmin (NaN loses to any real
+        # value), not the NaN-propagating np.minimum — the max side's
+        # np.maximum already coincides with NaN-as-largest
+        combine = np.maximum if is_max else np.fmin
+        reduce_run = ((lambda a: a.max()) if is_max
+                      else (lambda a: np.fmin.reduce(a)))
         out = np.empty_like(values)
         carry = None  # extreme since the open segment's head (None = at start)
         for s, e in self._spans(len(values)):
@@ -348,13 +354,11 @@ class BlockedBackend(Backend):
             out[s:e] = local
             heads = np.flatnonzero(sfc)
             if len(heads):
-                carry = self._np.reduce(seg[heads[-1]:],
-                                        "max" if is_max else "min")
+                carry = reduce_run(seg[heads[-1]:])
             elif carry is None:
-                carry = self._np.reduce(seg, "max" if is_max else "min")
+                carry = reduce_run(seg)
             else:
-                carry = combine(carry, self._np.reduce(
-                    seg, "max" if is_max else "min"))
+                carry = combine(carry, reduce_run(seg))
         return out
 
     def seg_copy(self, values: np.ndarray,

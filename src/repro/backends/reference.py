@@ -226,9 +226,12 @@ class ReferenceBackend(Backend):
             if seg_flags[i]:
                 acc, fresh = ident, True
             out[i] = acc if not fresh else ident
+            # NaN orders as a largest value (the rank-encoding convention
+            # every backend shares): max absorbs it via np.maximum, min
+            # passes it over via np.fmin — not the propagating np.minimum
             acc = values[i] if fresh else (
                 np.maximum(acc, values[i]) if is_max
-                else np.minimum(acc, values[i]))
+                else np.fmin(acc, values[i]))
             fresh = False
         return out
 

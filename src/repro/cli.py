@@ -558,7 +558,8 @@ def main(argv: list[str] | None = None) -> int:
     pp.add_argument("algorithm", choices=available_algorithms())
     pp.add_argument("--backend", default=None,
                     help="execution backend (numpy, blocked, blocked:<chunk>, "
-                         "reference); default honors REPRO_BACKEND")
+                         "native, native:<threads>:<block>, reference); "
+                         "default honors REPRO_BACKEND")
     pp.add_argument("--model", default="scan",
                     choices=["erew", "crew", "crcw", "scan"])
     pp.add_argument("--n", type=int, default=None,
@@ -585,7 +586,7 @@ def main(argv: list[str] | None = None) -> int:
                     help="comma-separated dtypes (default: each op's grid)")
     pv.add_argument("--backends", default=None,
                     help="comma-separated engines "
-                         f"(default: {','.join(('numpy', 'blocked', 'blocked:7', 'reference'))})")
+                         f"(default: {','.join(('numpy', 'blocked', 'blocked:7', 'reference', 'native', 'native:0:7'))})")
     pv.add_argument("--no-corpus", action="store_true",
                     help="skip replaying tests/corpus/verify/")
     pv.add_argument("--corpus-dir", default=None,
@@ -612,7 +613,7 @@ def main(argv: list[str] | None = None) -> int:
     ps.add_argument("--port", type=int, default=8787,
                     help="TCP port (0 binds an ephemeral port)")
     ps.add_argument("--backend", default=None,
-                    help="execution backend spec (numpy, blocked, "
+                    help="execution backend spec (numpy, blocked, native, "
                          "distributed:<workers>:<chunks>, ...); default "
                          "honors REPRO_BACKEND")
     ps.add_argument("--window", type=float, default=0.002,

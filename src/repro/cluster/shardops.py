@@ -12,9 +12,11 @@ math is the same function, so recovery can never change a result.
 
 The kernels mirror :class:`repro.backends.BlockedBackend`'s per-chunk
 arithmetic exactly (a shard is a chunk that happens to live in another
-process): integer carries wrap modulo ``2**width``, extreme carries
-propagate NaN through ``np.maximum``/``np.minimum``, and segmented carries
-travel as ``(value, has_head)`` monoid pairs.  For integer and boolean
+process): integer carries wrap modulo ``2**width``, extreme carries order
+NaN as a largest value exactly like the in-shard rank encoding
+(``np.maximum`` for max, ``np.fmin`` for min — see
+``docs/verification.md``), and segmented carries travel as
+``(value, has_head)`` monoid pairs.  For integer and boolean
 vectors every distributed result is therefore bit-identical to the numpy
 backend; float ``+``-carries may legitimately re-associate, exactly as a
 real message-passing machine would.
@@ -26,6 +28,7 @@ the checksum on its own view of the data.
 """
 from __future__ import annotations
 
+import os
 import zlib
 
 import numpy as np
@@ -77,11 +80,49 @@ def shard_checksum(out_slice, carry) -> int:
 
 
 # --------------------------------------------------------------------- #
+# Native kernel selection: a shard's local scan may route through the
+# two-phase NativeBackend (repro.backends.native), putting Numba's
+# parallel kernels under every worker process.  ``REPRO_SHARD_NATIVE``
+# overrides the default: ``1`` forces it on (pure fallback included, for
+# tests and CI), ``0`` off, anything else selects native exactly when
+# Numba is importable.  Integer/bool shards stay bit-identical either
+# way; local max scans are exact for floats too, so they also qualify.
+# --------------------------------------------------------------------- #
+
+_ENV_SHARD_NATIVE = "REPRO_SHARD_NATIVE"
+#: smallest shard worth the two-phase schedule (and any JIT warm-up)
+_NATIVE_SHARD_MIN = 65536
+_native_cache: dict = {}
+
+
+def _shard_native():
+    """The (cached per mode) NativeBackend shard scans route through, or
+    ``None`` when numpy expressions should run instead."""
+    mode = os.environ.get(_ENV_SHARD_NATIVE, "auto")
+    if mode not in _native_cache:
+        from ..backends.native import HAVE_NUMBA, NativeBackend
+
+        enabled = mode == "1" or (mode != "0" and HAVE_NUMBA)
+        _native_cache[mode] = NativeBackend() if enabled else None
+    return _native_cache[mode]
+
+
+# --------------------------------------------------------------------- #
 # +-scan
 # --------------------------------------------------------------------- #
 
 def plus_scan_shard(values: np.ndarray):
     """Local exclusive ``+``-scan of one shard; carry is the shard sum."""
+    native = _shard_native()
+    if (native is not None and len(values) >= _NATIVE_SHARD_MIN
+            and values.dtype.kind in "iu"):
+        # integer sums are associative mod 2**width: the two-phase result
+        # is bit-identical to the cumsum below (floats keep the serial
+        # path so solo float requests never re-associate locally)
+        out = native.plus_scan(values)
+        with np.errstate(over="ignore"):
+            carry = values.sum(dtype=values.dtype)
+        return out, carry
     out = np.empty_like(values)
     with np.errstate(over="ignore"):  # modular carries wrap by design
         if len(values):
@@ -114,8 +155,15 @@ def max_scan_shard(values: np.ndarray, identity):
     """Local exclusive max-scan clamped to ``identity``; carry is the
     shard max folded with ``identity`` (so the carry chain starts at the
     operator's identity exactly like the blocked backend's)."""
-    out = np.empty_like(values)
     ident = np.asarray(identity, dtype=values.dtype)[()]
+    native = _shard_native()
+    if native is not None and len(values) >= _NATIVE_SHARD_MIN:
+        # max is exactly associative (NaN absorbs either way): the
+        # two-phase local scan is bit-identical for every dtype
+        out = native.max_scan(values, ident)
+        carry = np.maximum(ident, values.max()) if len(values) else ident
+        return out, carry
+    out = np.empty_like(values)
     if len(values):
         out[0] = ident
         np.maximum.accumulate(values[:-1], out=out[1:])
@@ -195,7 +243,9 @@ def seg_extreme_shard(values: np.ndarray, seg_flags: np.ndarray, identity,
         sfc = sfc.copy()
         sfc[0] = True
     out = _seg_running_extreme(values, sfc, identity, is_max=is_max)
-    red = np.max if is_max else np.min
+    # the min carry must order NaN as a largest value, like the in-shard
+    # rank encoding (np.min would propagate it and diverge at boundaries)
+    red = np.max if is_max else np.fmin.reduce
     heads = np.flatnonzero(seg_flags)
     if len(heads):
         carry = (red(values[heads[-1]:]), True)
@@ -211,7 +261,7 @@ def seg_extreme_apply(out_slice: np.ndarray, flags_slice: np.ndarray,
     the carry alone (the identity fill must not clamp real values)."""
     if carry_value is None or flags_slice[0]:
         return
-    combine = np.maximum if is_max else np.minimum
+    combine = np.maximum if is_max else np.fmin
     heads = np.flatnonzero(flags_slice)
     run = int(heads[0]) if len(heads) else len(flags_slice)
     combine(out_slice[:run], carry_value, out=out_slice[:run])
@@ -221,7 +271,7 @@ def seg_extreme_apply(out_slice: np.ndarray, flags_slice: np.ndarray,
 def seg_extreme_carry_combine(is_max: bool):
     """Carry monoid over ``(value | None, has_head)`` pairs; ``None``
     marks "nothing scanned yet" (the exchange identity)."""
-    combine_val = np.maximum if is_max else np.minimum
+    combine_val = np.maximum if is_max else np.fmin
 
     def combine(a, b):  # a precedes b
         if b[1]:

@@ -45,7 +45,7 @@ from ..core import scans, segmented
 from ..machine.model import Machine
 
 __all__ = ["ServeOp", "SERVABLE_OPS", "request_flags", "assemble",
-           "batchable", "BatchEngine"]
+           "batchable", "proportional_shares", "BatchEngine"]
 
 
 @dataclass(frozen=True)
@@ -172,6 +172,39 @@ def batchable(op: ServeOp, values: np.ndarray) -> bool:
     """Whether one request may join a mega-op (see module docstring)."""
     return (op.fused is not None and len(values) > 0
             and values.dtype.kind != "f")
+
+
+def proportional_shares(total: int, weights: Sequence[int]) -> list:
+    """Split ``total`` into integer shares proportional to ``weights``,
+    summing to **exactly** ``total``.
+
+    This is how a mega-op's step cost is billed to its members: each
+    request pays for its slice of the batch, and the slices must
+    *partition* the cost — rounding each share independently does not
+    (``max(1, round(...))`` debits a 64-request, 3-step mega-op as 64
+    steps, a 21x overcharge that silently drains tenant budgets).
+    Largest-remainder apportionment keeps every share within one step of
+    its exact proportion; remainder ties break toward the earlier index,
+    so the split is deterministic.  A share may legitimately be 0: a tiny
+    request's slice of a cheap mega-op rounds to nothing.
+    """
+    total = int(total)
+    if not weights:
+        return []
+    w = [max(0, int(x)) for x in weights]
+    denom = sum(w)
+    if denom == 0:  # all-zero weights: split as evenly as possible
+        w = [1] * len(w)
+        denom = len(w)
+    shares = []
+    remainders = []
+    for i, x in enumerate(w):
+        q, r = divmod(total * x, denom)
+        shares.append(q)
+        remainders.append((-r, i))
+    for _, i in sorted(remainders)[:total - sum(shares)]:
+        shares[i] += 1
+    return shares
 
 
 # --------------------------------------------------------------------- #

@@ -3,8 +3,16 @@
 Scan workloads repeat: the same prefix-sum over the same vector arrives
 from many clients (dashboards re-rendering, retries, idempotent
 pipelines).  Results here are pure functions of ``(op, dtype, values,
-segment layout)``, so a digest of exactly those bytes is a sound cache
-key — there is no state to invalidate, only capacity to manage (LRU).
+segment layout, backend)``, so a digest of exactly those fields is a
+sound cache key — there is no state to invalidate, only capacity to
+manage (LRU).  Each field is **length-prefixed** before hashing:
+concatenating raw field bytes lets adjacent fields trade characters
+(``key("x", uint8 [7])`` used to equal ``key("xu", int8 [7])`` because
+``"x"+"uint8"`` and ``"xu"+"int8"`` are the same string), which served a
+wrong-dtype answer to a colliding request.  The backend identity is part
+of the key because results can legitimately differ across engines (float
+``+``-carries re-associate per chunk schedule), so a server restarted
+onto a different backend must not inherit digests minted by another.
 
 A hit skips machine execution entirely and is metered at **zero steps**
 (no work was done; the cost model should say so).  The stored array is
@@ -47,17 +55,30 @@ class ResultCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    #: bumped whenever the digest layout changes, so stale digests from
+    #: an earlier scheme can never alias a current one
+    KEY_VERSION = b"v2"
+
     @staticmethod
-    def key(op: str, values: np.ndarray,
-            seg_lengths: Optional[tuple]) -> str:
-        """The input digest: op name, dtype, shape, raw bytes, layout."""
+    def key(op: str, values: np.ndarray, seg_lengths: Optional[tuple],
+            backend: str = "") -> str:
+        """The input digest: op name, backend identity, dtype, raw bytes,
+        segment layout — every field length-prefixed (see module
+        docstring)."""
         h = hashlib.sha256()
-        h.update(op.encode())
-        h.update(str(values.dtype).encode())
-        h.update(str(len(values)).encode())
-        h.update(np.ascontiguousarray(values).tobytes())
-        if seg_lengths is not None:
-            h.update(np.asarray(seg_lengths, dtype=np.int64).tobytes())
+        fields = [
+            ResultCache.KEY_VERSION,
+            op.encode(),
+            backend.encode(),
+            str(values.dtype).encode(),
+            np.ascontiguousarray(values).tobytes(),
+            (b"" if seg_lengths is None
+             else np.asarray(seg_lengths, dtype=np.int64).tobytes()),
+            b"segmented" if seg_lengths is not None else b"flat",
+        ]
+        for field in fields:
+            h.update(len(field).to_bytes(8, "big"))
+            h.update(field)
         return h.hexdigest()
 
     def get(self, key: str) -> Optional[CachedResult]:

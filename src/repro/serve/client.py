@@ -30,12 +30,18 @@ __all__ = ["ServeError", "ServeClient"]
 
 
 class ServeError(Exception):
-    """A structured error response, surfaced client-side."""
+    """A structured error response, surfaced client-side.
 
-    def __init__(self, code: str, message: str) -> None:
+    ``details`` mirrors the response's machine-readable context (the
+    limit a request tripped and the offending size), ``{}`` when the
+    server sent none."""
+
+    def __init__(self, code: str, message: str,
+                 details: Optional[dict] = None) -> None:
         super().__init__(f"[{code}] {message}")
         self.code = code
         self.message = message
+        self.details = details or {}
 
 
 class ServeClient:
@@ -130,7 +136,8 @@ class ServeClient:
         if not frame.get("ok"):
             err = frame.get("error") or {}
             raise ServeError(err.get("code", "internal"),
-                             err.get("message", "unspecified error"))
+                             err.get("message", "unspecified error"),
+                             err.get("details"))
         return decode_values(frame["values"], frame["dtype"])
 
     async def ping(self) -> bool:

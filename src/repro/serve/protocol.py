@@ -70,13 +70,20 @@ ERROR_CODES = frozenset({
 
 
 class ProtocolError(Exception):
-    """A request that cannot be served, with its structured error code."""
+    """A request that cannot be served, with its structured error code.
 
-    def __init__(self, code: str, message: str) -> None:
+    ``details`` (optional) carries machine-readable context — the limit a
+    request tripped and the offending size — so a client can right-size
+    its next attempt without parsing the human message.
+    """
+
+    def __init__(self, code: str, message: str,
+                 details: Optional[dict] = None) -> None:
         assert code in ERROR_CODES, code
         super().__init__(message)
         self.code = code
         self.message = message
+        self.details = details
 
 
 # --------------------------------------------------------------------- #
@@ -192,7 +199,8 @@ def parse_request(obj: dict, *, known_ops, max_elements: int) -> ParsedRequest:
         raise ProtocolError(
             "too_large",
             f"vector of {len(raw)} elements exceeds the server's "
-            f"max_elements={max_elements}")
+            f"max_elements={max_elements}",
+            details={"max_elements": max_elements, "got": len(raw)})
     values = decode_values(raw, dtype)
 
     seg_lengths = obj.get("seg_lengths")
@@ -236,10 +244,13 @@ def ok_frame(req_id, result: np.ndarray, *, steps: int, batched: int,
                    "cached": bool(cached)})
 
 
-def error_frame(req_id, code: str, message: str) -> bytes:
+def error_frame(req_id, code: str, message: str,
+                details: Optional[dict] = None) -> bytes:
     assert code in ERROR_CODES, code
-    return _frame({"id": req_id, "ok": False,
-                   "error": {"code": code, "message": message}})
+    error: dict = {"code": code, "message": message}
+    if details:
+        error["details"] = details
+    return _frame({"id": req_id, "ok": False, "error": error})
 
 
 def info_frame(req_id, **payload) -> bytes:

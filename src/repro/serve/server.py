@@ -38,7 +38,8 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from .batching import SERVABLE_OPS, BatchEngine, batchable
+from .batching import (SERVABLE_OPS, BatchEngine, batchable,
+                       proportional_shares)
 from .cache import ResultCache
 from .metrics import ServeMetrics, ServerStats
 from .protocol import (ParsedRequest, ProtocolError, decode_frame,
@@ -242,7 +243,9 @@ class ScanServer:
                     await self._send(writer, lock, error_frame(
                         None, "too_large",
                         f"frame exceeds max_frame_bytes="
-                        f"{self.config.max_frame_bytes}"))
+                        f"{self.config.max_frame_bytes}",
+                        details={"max_frame_bytes":
+                                 self.config.max_frame_bytes}))
                     break
                 if not line:
                     # EOF: the framing is one line each way, so a closed
@@ -305,7 +308,8 @@ class ScanServer:
             await self._send(writer, lock, info_frame(
                 req_id, stats=self.stats.snapshot(),
                 cache=self.cache.snapshot(),
-                quotas=self.quotas.snapshot()))
+                quotas=self.quotas.snapshot(),
+                limits=self._limits()))
             return
 
         try:
@@ -314,7 +318,8 @@ class ScanServer:
         except ProtocolError as err:
             self._count_error(err.code)
             await self._send(writer, lock,
-                             error_frame(req_id, err.code, err.message))
+                             error_frame(req_id, err.code, err.message,
+                                         details=err.details))
             return
 
         frame = await self._admit_and_wait(req)
@@ -323,6 +328,18 @@ class ScanServer:
     # ------------------------------------------------------------------ #
     # Admission
     # ------------------------------------------------------------------ #
+
+    def _limits(self) -> dict:
+        """The server's admission limits, as the ``stats`` op reports
+        them: what a client needs to right-size requests pre-flight."""
+        return {
+            "max_elements": self.config.max_elements,
+            "max_frame_bytes": self.config.max_frame_bytes,
+            "max_batch": self.config.max_batch,
+            "max_batch_elements": self.config.max_batch_elements,
+            "max_pending": self.config.max_pending,
+            "request_timeout": self.config.request_timeout,
+        }
 
     def _count_error(self, code: str) -> None:
         self.stats.errors += 1
@@ -346,7 +363,8 @@ class ScanServer:
         self.stats.requests += 1
         self.metrics.requests.inc()
 
-        key = ResultCache.key(req.op, req.values, req.seg_lengths)
+        key = ResultCache.key(req.op, req.values, req.seg_lengths,
+                              backend=repr(self.engine.backend))
         hit = self.cache.get(key)
         if hit is not None:
             # no machine ran: zero steps charged, zero steps debited
@@ -472,13 +490,15 @@ class ScanServer:
             return
 
         occupancy = len(entries)
-        for entry, out in zip(entries, results):
-            if occupancy == 1 or total_n == 0:
-                share = steps
-            else:
-                # a request pays for its slice of the mega-op: batching
-                # makes requests cheaper and the meter passes that on
-                share = max(1, round(steps * entry.req.n / total_n))
+        if occupancy == 1 or total_n == 0:
+            shares = [steps] * occupancy
+        else:
+            # each request pays for its slice of the mega-op — batching
+            # makes requests cheaper and the meter passes that on; the
+            # shares partition the cost exactly (sum(shares) == steps)
+            shares = proportional_shares(steps,
+                                         [e.req.n for e in entries])
+        for entry, out, share in zip(entries, results, shares):
             self._finish_ok(entry, out, share, occupancy=occupancy)
         self._record_batch(occupancy, steps,
                            total_n if occupancy > 1 else len(parts[0][0]))

@@ -25,6 +25,7 @@ from repro.backends import (
     Backend,
     BlockedBackend,
     DistributedBackend,
+    NativeBackend,
     NumPyBackend,
     ReferenceBackend,
     available_backends,
@@ -36,7 +37,7 @@ from repro.core import ops, scans, segmented
 from repro.core.vector import Vector
 from repro.faults import FaultInjector, FaultPlan, PrimitiveFault
 
-BACKEND_SPECS = ["numpy", "blocked:7", "reference"]
+BACKEND_SPECS = ["numpy", "blocked:7", "reference", "native:0:3"]
 
 
 # --------------------------------------------------------------------- #
@@ -44,9 +45,9 @@ BACKEND_SPECS = ["numpy", "blocked:7", "reference"]
 # --------------------------------------------------------------------- #
 
 class TestSelection:
-    def test_registry_lists_all_four(self):
-        assert available_backends() == ["blocked", "distributed", "numpy",
-                                        "reference"]
+    def test_registry_lists_all_five(self):
+        assert available_backends() == ["blocked", "distributed", "native",
+                                        "numpy", "reference"]
 
     def test_get_backend_parses_specs(self):
         assert isinstance(get_backend("numpy"), NumPyBackend)
@@ -56,6 +57,9 @@ class TestSelection:
         d = get_backend("distributed:2:100")
         assert isinstance(d, DistributedBackend)
         assert d.workers == 2 and d.min_distribute == 100
+        nat = get_backend("native:2:1024")
+        assert isinstance(nat, NativeBackend)
+        assert nat.threads == 2 and nat.block == 1024
 
     def test_unknown_name_and_stray_argument_raise(self):
         with pytest.raises(ValueError, match="unknown backend"):
@@ -287,7 +291,7 @@ def test_differential_programs_bit_identical(values, program):
     """Random primitive programs: every backend returns the same bits after
     every operation AND charges the same steps of the same kinds."""
     baseline = _run_program("numpy", values, program)
-    for spec in ("blocked:7", "reference"):
+    for spec in ("blocked:7", "reference", "native:0:3"):
         assert _run_program(spec, values, program) == baseline, spec
 
 
@@ -432,6 +436,46 @@ class TestFaultsAcrossBackends:
         assert out.to_list() == np.concatenate(
             ([0], np.cumsum(np.arange(12))[:-1])).tolist()
         assert m.fault_counters.degraded_scans >= 1
+
+
+# --------------------------------------------------------------------- #
+# Segmented-extreme NaN carries (regression)
+# --------------------------------------------------------------------- #
+
+class TestSegExtremeNaNCarries:
+    """The min carry between chunks/shards used NaN-propagating
+    ``np.minimum`` while the in-chunk rank encoding orders NaN as a
+    largest value: with NaN inside the open segment crossing a boundary,
+    blocked and reference returned ``nan`` where numpy returns the real
+    running min.  Fixed by ``np.fmin`` carries everywhere."""
+
+    VALUES = np.array([0.0] * 6 + [np.nan, 1.0])
+    FLAGS = np.array([True] + [False] * 7)
+
+    def _seg_min(self, spec):
+        m = Machine("scan", backend=spec)
+        return segmented.seg_min_scan(m.vector(self.VALUES),
+                                      m.flags(self.FLAGS)).data
+
+    def test_chunk_boundary_carry_matches_numpy(self):
+        want = self._seg_min("numpy")
+        assert want[7] == 0.0  # NaN ordered largest, not propagated
+        for spec in ("blocked:7", "blocked:2", "reference", "native:0:7"):
+            got = self._seg_min(spec)
+            assert np.array_equal(got, want, equal_nan=True), spec
+
+    def test_shard_split_carry_matches_numpy(self):
+        from repro.cluster.shardops import (seg_extreme_apply,
+                                            seg_extreme_shard)
+
+        v, sf = self.VALUES, self.FLAGS
+        out_a, carry_a = seg_extreme_shard(v[:4], sf[:4], np.inf,
+                                           is_max=False)
+        out_b, _ = seg_extreme_shard(v[4:], sf[4:], np.inf, is_max=False)
+        # shard b has no head: it receives shard a's open-segment min
+        seg_extreme_apply(out_b, sf[4:], carry_a[0], is_max=False)
+        got = np.concatenate([out_a, out_b])
+        assert np.array_equal(got, self._seg_min("numpy"), equal_nan=True)
 
 
 # --------------------------------------------------------------------- #

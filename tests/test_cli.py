@@ -29,10 +29,11 @@ class TestInProcess:
     def test_backends_lists_and_self_checks_all(self, capsys):
         main(["backends"])
         out = capsys.readouterr().out
-        for name in ("numpy", "blocked", "distributed", "reference"):
+        for name in ("numpy", "blocked", "distributed", "native",
+                     "reference"):
             assert name in out
-        # 4 backends + blocked:4 + distributed:2:1 demos
-        assert out.count("self-check ok") == 6
+        # 5 backends + blocked:4 + distributed:2:1 demos
+        assert out.count("self-check ok") == 7
         assert "FAILED" not in out
 
     def test_cluster_reports_ledger_and_matching_steps(self, capsys):

@@ -93,6 +93,7 @@ def test_oversized_frame_rejected_then_disconnected():
             frame = json.loads(line)
             assert frame["ok"] is False
             assert frame["error"]["code"] == "too_large"
+            assert frame["error"]["details"] == {"max_frame_bytes": 512}
             assert follow_up == b""  # server hung up: framing was lost
         finally:
             await server.shutdown()
@@ -112,6 +113,13 @@ def test_oversized_vector_rejected_connection_survives():
                 raise AssertionError("expected ServeError")
             except ServeError as err:
                 assert err.code == "too_large"
+                # the error carries the limit in-band, so a client can
+                # right-size its retry without a second round trip
+                assert err.details == {"max_elements": 16, "got": 32}
+            # ... and the stats op advertises the same limits up front
+            limits = (await client.stats())["limits"]
+            assert limits["max_elements"] == 16
+            assert limits["max_frame_bytes"] == server.config.max_frame_bytes
             # same connection, conforming vector: served
             out = await client.scan("plus_scan", np.arange(8))
             assert np.array_equal(out, np.arange(8).cumsum() - np.arange(8))

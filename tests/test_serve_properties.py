@@ -25,6 +25,8 @@ from hypothesis import strategies as st
 
 from repro.serve import SERVABLE_OPS, BatchEngine, ScanServer, ServeClient, \
     ServeConfig
+from repro.serve.batching import proportional_shares
+from repro.serve.cache import ResultCache
 from repro.serve.protocol import decode_values, encode_values
 from repro.serve.quota import QuotaManager, QuotaPolicy
 from repro.verify.corpus import generate_cases
@@ -145,6 +147,89 @@ def test_float64_values_survive_the_wire(xs):
     finite_sign = ~np.isnan(arr)
     assert np.array_equal(np.signbit(arr)[finite_sign],
                           np.signbit(back)[finite_sign])
+
+
+# --------------------------------------------------------------------- #
+# Cache keys (regression: adjacent fields must not trade characters)
+# --------------------------------------------------------------------- #
+
+def test_cache_key_separates_adjacent_fields():
+    """Before length-prefixing, ``"x"+"uint8"`` and ``"xu"+"int8"``
+    digested identically and a colliding request was served the other
+    op's wrong-dtype result."""
+    a = ResultCache.key("x", np.array([7], dtype=np.uint8), None)
+    b = ResultCache.key("xu", np.array([7], dtype=np.int8), None)
+    assert a != b
+
+
+def test_cache_key_binds_segment_layout_and_backend():
+    v = np.array([1, 2, 3], dtype=np.int64)
+    flat = ResultCache.key("plus_scan", v, None)
+    seg_a = ResultCache.key("seg_plus_scan", v, (1, 2))
+    seg_b = ResultCache.key("seg_plus_scan", v, (2, 1))
+    assert len({flat, seg_a, seg_b}) == 3
+    # a restart onto another engine must not inherit old digests: float
+    # +-carries legitimately re-associate per chunk schedule
+    assert (ResultCache.key("plus_scan", v, None, backend="NumPyBackend()")
+            != ResultCache.key("plus_scan", v, None,
+                               backend="BlockedBackend(chunk=7)"))
+
+
+# --------------------------------------------------------------------- #
+# Billing (regression: shares must partition the mega-op's cost)
+# --------------------------------------------------------------------- #
+
+@given(st.integers(0, 10**6),
+       st.lists(st.integers(0, 10**4), min_size=1, max_size=64))
+@settings(max_examples=120, deadline=None)
+def test_proportional_shares_partition_exactly(total, weights):
+    """sum(shares) == total always; every share within one step of its
+    exact proportion; the split is deterministic."""
+    shares = proportional_shares(total, weights)
+    assert len(shares) == len(weights)
+    assert sum(shares) == total
+    assert all(s >= 0 for s in shares)
+    w = weights if sum(weights) else [1] * len(weights)
+    denom = sum(w)
+    for share, weight in zip(shares, w):
+        assert abs(share - total * weight / denom) < 1.0
+    assert proportional_shares(total, weights) == shares
+
+
+def test_mega_op_billing_partitions_cost():
+    """64 coalesced requests are billed the *mega-op's* cost, split
+    proportionally — not >= 1 step each (the old ``max(1, round(...))``
+    debited a 64-request, few-step batch as 64 steps, silently draining
+    tenant budgets ~20x too fast)."""
+    vecs = [np.array([i], dtype=np.int64) for i in range(64)]
+
+    async def main():
+        server = ScanServer(ServeConfig(
+            port=0, batch_window=0.05, max_batch=64, cache_entries=0))
+        await server.start()
+        try:
+            clients = [await ServeClient.connect("127.0.0.1", server.port)
+                       for _ in range(8)]
+            frames = await asyncio.gather(*[
+                clients[i % 8].request("plus_scan", v)
+                for i, v in enumerate(vecs)])
+            for c in clients:
+                await c.close()
+            return frames
+        finally:
+            await server.shutdown()
+
+    frames = asyncio.run(main())
+    assert all(f["ok"] for f in frames)
+    billed = [f["steps"] for f in frames]
+    # the old floor of one step per member makes this sum >= 64 no
+    # matter how the batcher composed the groups
+    assert sum(billed) < len(vecs), billed
+    if all(f["batched"] == len(vecs) for f in frames):
+        # single mega-op: the bill must equal its cost exactly
+        _, steps, _ = BatchEngine("numpy").run_group(
+            SERVABLE_OPS["plus_scan"], [(v, None) for v in vecs])
+        assert sum(billed) == steps, (sum(billed), steps)
 
 
 @given(st.lists(st.tuples(st.sampled_from(["a", "b"]),

@@ -28,6 +28,8 @@ EXPECTED_WITNESSES = [
     "seg_plus_distribute-int16-overflow",
     "max_reduce-float64-empty",
     "max_scan-float64-nan-carry",
+    "seg_min_scan-nan-chunk-carry",
+    "seg_min_scan-nan-accumulator",
 ]
 
 
