@@ -56,6 +56,18 @@ from .radix_sort import (
     split_radix_sort_signed,
     split_radix_sort_with_rank,
 )
+from .codecs import delta_decode, delta_encode, rle_decode, rle_encode
+from .list_contraction import (
+    ContractionResult,
+    list_contraction,
+    serial_list_ranks,
+)
+from .random_permutation import (
+    PermutationResult,
+    random_permutation,
+    serial_random_permutation,
+)
+from .text import CsvSplit, FieldSplit, parse_csv, split_fields
 from .tree_contraction import ExpressionTree, tree_contract
 from .treefix import RootedTree, build_rooted_tree, root_tree_edges
 
@@ -87,14 +99,21 @@ __all__ = [
     "max_flow",
     "ParallelMatrix",
     "QuicksortTrace",
+    "ContractionResult",
+    "CsvSplit",
+    "FieldSplit",
+    "PermutationResult",
     "build_kd_tree",
     "closest_pair",
     "connected_components",
     "convex_hull",
+    "delta_decode",
+    "delta_encode",
     "draw_lines",
     "halving_merge",
     "key_bits",
     "line_of_sight_grid",
+    "list_contraction",
     "list_rank",
     "list_rank_and_tail",
     "list_rank_sampled",
@@ -103,11 +122,18 @@ __all__ = [
     "maximal_independent_set",
     "minimum_spanning_tree",
     "near_merge_fix",
+    "parse_csv",
     "quicksort",
     "radix_sort",
+    "random_permutation",
     "render",
+    "rle_decode",
+    "rle_encode",
     "rootfix",
+    "serial_list_ranks",
+    "serial_random_permutation",
     "solve",
+    "split_fields",
     "split_radix_sort",
     "split_radix_sort_float",
     "split_radix_sort_signed",

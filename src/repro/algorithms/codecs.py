@@ -1,0 +1,77 @@
+"""Run-length and delta compression codecs on scan primitives.
+
+Two classic codecs, each a constant number of program steps on the scan
+model (and therefore a workload where Table 1's gap shows up directly):
+
+* **RLE** — run heads are a neighbor-change flag, run values a pack, run
+  lengths a difference of packed head positions; decoding is Figure 8's
+  ``distribute`` (allocate + permute-to-heads + segmented copy).  Exact
+  round trip for every dtype, including NaN floats (NaN never equals its
+  neighbor, so a NaN is always its own run).
+* **Delta** — encoding is one shift and one subtract, decoding one
+  ``+-scan`` and one add (inclusive scan).  Exact for integers (wraparound
+  cancels); floats round-trip only to rounding error, which is why the
+  fuzzer registers it as an additive op.
+
+Both directions charge through the machine like every other algorithm, so
+they run — and are differentially tested — on all backends and models.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import scans
+from ..core.ops import distribute_to_segments, pack
+from ..core.vector import Vector
+
+__all__ = ["delta_decode", "delta_encode", "rle_decode", "rle_encode"]
+
+
+def _run_heads(v: Vector) -> Vector:
+    from ..core.segmented import seg_flag_from_neighbor_change
+
+    m = v.machine
+    m.charge_elementwise(len(v))
+    unit = m.flags(np.arange(len(v)) == 0)
+    return seg_flag_from_neighbor_change(v, unit)
+
+
+def rle_encode(v: Vector) -> tuple[Vector, Vector]:
+    """Run-length encode: returns ``(values, lengths)`` with one entry per
+    maximal run of equal elements.  O(1) program steps."""
+    m = v.machine
+    n = len(v)
+    if n == 0:
+        return v, m.vector(np.empty(0, dtype=np.int64))
+    heads = _run_heads(v)
+    values = pack(v, heads)
+    starts = pack(m.arange(n), heads)
+    lengths = starts.shift(-1, fill=n) - starts
+    return values, lengths
+
+
+def rle_decode(values: Vector, lengths: Vector) -> Vector:
+    """Invert :func:`rle_encode`: expand each value to its run length
+    (Figure 8's ``distribute``).  Zero-length runs are legal and vanish."""
+    if len(values) != len(lengths):
+        raise ValueError(
+            f"values/lengths disagree: {len(values)} != {len(lengths)}")
+    if len(lengths) and bool(np.any(lengths.data < 0)):
+        raise ValueError("run lengths must be non-negative")
+    out, _ = distribute_to_segments(values, lengths)
+    return out
+
+
+def delta_encode(v: Vector) -> Vector:
+    """Difference from the previous element (``d[0] = v[0]``): one shift
+    plus one subtract."""
+    if v.dtype == np.bool_:
+        raise TypeError("delta coding is arithmetic; cast bools first")
+    return v - v.shift(1)
+
+
+def delta_decode(d: Vector) -> Vector:
+    """Invert :func:`delta_encode` with an inclusive ``+-scan``."""
+    if d.dtype == np.bool_:
+        raise TypeError("delta coding is arithmetic; cast bools first")
+    return scans.plus_scan(d) + d

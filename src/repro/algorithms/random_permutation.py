@@ -1,0 +1,128 @@
+"""Sequentially-equivalent parallel random permutation (binary-forking).
+
+The BFGS line of work (Blelloch–Fineman–Gu–Sun, PAPERS.md) shows that the
+textbook *sequential* Durstenfeld shuffle —
+
+    for i in 0..n-1: swap(A[i], A[H[i]])      # dart H[i] uniform in [i, n)
+
+— parallelises with **no change in output**: in each round every still-live
+index ``i`` test-and-sets a min-priority reservation on the two cells it
+touches (``i`` and ``H[i]``); an index that wins *both* cells commits its
+swap, everyone else's reservation is revoked and retried next round.  A
+winner is the minimum live contender on both its cells, so every smaller
+index that touches those cells has already committed — the state a winner
+reads is exactly the state the serial loop would have shown it, which is
+the sequential-equivalence argument (and the property the tests check).
+
+The reservation step is the binary-forking model's one atomic; on machines
+without a native test-and-set it is *simulated* and surcharged through
+:meth:`Machine.charge_test_and_set`, so the comparison table can run this
+algorithm on all five models.  Expected round count is O(lg n) w.h.p.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .._util import ceil_log2
+from ..machine.model import Machine
+
+__all__ = ["PermutationResult", "random_permutation",
+           "serial_random_permutation"]
+
+
+@dataclass(frozen=True)
+class PermutationResult:
+    """Outcome of :func:`random_permutation`.
+
+    ``order`` is the permutation (``order[i]`` = element landing at slot
+    ``i``); ``darts`` the swap targets that generated it; ``attempts``
+    counts reservation attempts summed over rounds (``n`` of them succeed,
+    the rest appear in the machine's revoke ledger).
+    """
+
+    order: np.ndarray
+    darts: np.ndarray
+    rounds: int
+    attempts: int
+
+
+def serial_random_permutation(darts: np.ndarray) -> np.ndarray:
+    """The serial Durstenfeld loop the parallel algorithm must reproduce."""
+    darts = np.asarray(darts, dtype=np.int64)
+    n = len(darts)
+    order = np.arange(n, dtype=np.int64)
+    for i in range(n):
+        j = darts[i]
+        order[i], order[j] = order[j], order[i]
+    return order
+
+
+def _charged_duplicate_read(m: Machine, n: int) -> None:
+    """Reading the reservation cells hit by many darts is a concurrent
+    read; EREW-family models simulate it with the same ``2⌈lg n⌉``
+    sort-and-copy surcharge :meth:`SparseMatrix.matvec` uses."""
+    if m.capabilities.concurrent_read:
+        m.charge_gather(n, unique=False)
+    else:
+        for _ in range(2 * ceil_log2(max(n, 2))):
+            m.charge_elementwise(n)
+
+
+def random_permutation(
+    machine: Machine,
+    n: int,
+    *,
+    darts: Optional[np.ndarray] = None,
+) -> PermutationResult:
+    """Generate a uniform random permutation of ``0..n-1`` in parallel.
+
+    ``darts`` defaults to fresh draws from ``machine.rng`` (``darts[i]``
+    uniform in ``[i, n)``, the Durstenfeld distribution); pass them
+    explicitly to replay a known instance.  The result equals
+    :func:`serial_random_permutation` on the same darts, bit for bit.
+    """
+    if darts is None:
+        base = np.arange(n, dtype=np.int64)
+        darts = base + (machine.rng.integers(0, n - base, size=n)
+                        if n else np.empty(0, dtype=np.int64))
+    darts = np.asarray(darts, dtype=np.int64)
+    if len(darts) != n:
+        raise ValueError(f"expected {n} darts, got {len(darts)}")
+    if n and (np.any(darts < np.arange(n)) or np.any(darts >= n)):
+        raise ValueError("dart i must lie in [i, n)")
+    order = np.arange(n, dtype=np.int64)
+    live = np.arange(n, dtype=np.int64)
+    rounds = 0
+    attempts = 0
+    while live.size:
+        rounds += 1
+        attempts += live.size
+        targets = darts[live]
+        # One atomic reservation step: each live index min-writes its
+        # priority (itself) into both cells it will swap.
+        reserved = machine.execute(
+            "combine_write",
+            np.concatenate([live, live]),
+            np.concatenate([live, targets]),
+            n, "min", n)
+        machine.charge_gather(n, unique=True)      # read back own cells
+        _charged_duplicate_read(machine, n)        # read back dart cells
+        won = (reserved[live] == live) & (reserved[targets] == live)
+        machine.charge_elementwise(n)
+        machine.charge_test_and_set(n, revoked=int(live.size - won.sum()))
+        winners = live[won]
+        swap_to = darts[winners]
+        # Winners' cell pairs are pairwise disjoint (each winner is the
+        # minimum on both its cells), so the swaps commit as one unique
+        # gather + one unique permute.
+        machine.charge_gather(n, unique=True)
+        machine.charge_permute(n)
+        tmp = order[winners].copy()
+        order[winners] = order[swap_to]
+        order[swap_to] = tmp
+        live = live[~won]
+    return PermutationResult(order=order, darts=darts, rounds=rounds,
+                             attempts=attempts)

@@ -421,6 +421,14 @@ def _profile(args) -> None:
         print(text)
 
 
+def _models(args) -> None:
+    from .machine.comparison import render_models_table
+
+    names = args.algorithms.split(",") if args.algorithms else None
+    print(render_models_table(names=names, n=args.n, seed=args.seed,
+                              num_processors=args.processors))
+
+
 def _serve(args) -> int:
     import asyncio
     import json
@@ -561,7 +569,8 @@ def main(argv: list[str] | None = None) -> int:
                          "native, native:<threads>:<block>, reference); "
                          "default honors REPRO_BACKEND")
     pp.add_argument("--model", default="scan",
-                    choices=["erew", "crew", "crcw", "scan"])
+                    choices=["erew", "crew", "crcw", "scan",
+                             "binary-forking"])
     pp.add_argument("--n", type=int, default=None,
                     help="problem size (default: the workload's pinned size)")
     pp.add_argument("--seed", type=int, default=0)
@@ -572,6 +581,20 @@ def main(argv: list[str] | None = None) -> int:
     pp.add_argument("-o", "--output", default=None,
                     help="write the export to a file instead of stdout")
     pp.set_defaults(func=_profile)
+
+    pm = sub.add_parser(
+        "models",
+        help="Table 1 re-run: the same algorithms costed on all five "
+             "machine models, binary-forking included")
+    pm.add_argument("--n", type=int, default=None,
+                    help="problem size for every row (default: each "
+                         "algorithm's pinned size)")
+    pm.add_argument("--seed", type=int, default=0)
+    pm.add_argument("--processors", type=int, default=None,
+                    help="simulated processor count (default: n)")
+    pm.add_argument("--algorithms", default=None,
+                    help="comma-separated subset (default: all)")
+    pm.set_defaults(func=_models)
 
     pv = sub.add_parser(
         "verify",

@@ -3,19 +3,31 @@
 See :class:`repro.machine.Machine` for the entry point.
 """
 from .capabilities import CAPABILITIES, Capabilities, MODEL_NAMES
-from .counters import StepCounter, StepSnapshot
+from .counters import ForkCounters, StepCounter, StepSnapshot
 from .model import CapabilityError, Machine
-from .trace import Trace, TraceEvent, trace
 
 __all__ = [
     "CAPABILITIES",
+    "COMPARISONS",
     "Capabilities",
     "CapabilityError",
+    "ForkCounters",
     "MODEL_NAMES",
     "Machine",
+    "ModelComparison",
     "StepCounter",
     "StepSnapshot",
     "Trace",
     "TraceEvent",
+    "render_models_table",
+    "run_comparison",
     "trace",
 ]
+
+from .comparison import (  # noqa: E402  (needs Machine defined above)
+    COMPARISONS,
+    ModelComparison,
+    render_models_table,
+    run_comparison,
+)
+from .trace import Trace, TraceEvent, trace  # noqa: E402

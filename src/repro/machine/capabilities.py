@@ -10,6 +10,15 @@ The paper compares four machine models:
 * **scan** — the paper's contribution: EREW plus unit-time ``+-scan`` and
   ``max-scan`` primitives.
 
+A fifth model re-runs that comparison 35 years later:
+
+* **binary-forking** — the Blelloch–Fineman–Gu–Sun model: threads fork in
+  binary trees over shared memory (concurrent reads allowed), writes are
+  exclusive except for an atomic test-and-set, and *every* ``n``-element
+  primitive — even an elementwise map — pays the ``2⌈lg p⌉`` span of the
+  fork/join tree that launches it.  Scans are *not* unit time here; the
+  fork tree itself is the ``Θ(lg n)`` lower bound the model bakes in.
+
 Capabilities gate which primitive operations an algorithm may use on a given
 machine; costs are a separate concern handled by :mod:`repro.machine.model`.
 """
@@ -35,19 +44,32 @@ class Capabilities:
         processor wins) — the paper's extended CRCW used by the O(lg n) MST?
     unit_scan:
         Are ``+-scan`` and ``max-scan`` single program steps (the scan model)?
+    test_and_set:
+        Is an atomic test-and-set / priority-reservation write a native
+        single step?  True on the binary-forking model (its one atomic)
+        and on the extended CRCW (a combining write subsumes it); other
+        models must simulate it (see ``Machine.charge_test_and_set``).
+    forked:
+        Must every primitive be launched by a binary fork/join tree
+        (spawn/sync span charged, ledger recorded)?  True only for the
+        binary-forking model.
     """
 
     concurrent_read: bool
     concurrent_write: bool
     combining_write: bool
     unit_scan: bool
+    test_and_set: bool = False
+    forked: bool = False
 
 
 CAPABILITIES: dict[str, Capabilities] = {
     "erew": Capabilities(False, False, False, False),
     "crew": Capabilities(True, False, False, False),
-    "crcw": Capabilities(True, True, True, False),
+    "crcw": Capabilities(True, True, True, False, test_and_set=True),
     "scan": Capabilities(False, False, False, True),
+    "binary-forking": Capabilities(True, False, False, False,
+                                   test_and_set=True, forked=True),
 }
 
 MODEL_NAMES = tuple(CAPABILITIES)

@@ -1,0 +1,239 @@
+"""Table 1 re-run: the same algorithm costed on every machine model.
+
+The paper's Table 1 argues that moving scans into the primitive set changes
+*asymptotic* step counts, not constants.  This module re-runs that argument
+35 years later with the binary-forking model in the line-up: a registry of
+self-verifying workloads (:data:`COMPARISONS`), a runner that executes one
+workload on every model with identical inputs (:func:`run_comparison`), and
+a renderer producing the step-count grid behind ``python -m repro models``
+(:func:`render_models_table`).
+
+Each workload's ``run`` function draws its input from the *machine's* seeded
+rng, so every model sees byte-identical data and internal randomness; only
+the charging differs.  After each run the fork ledger must reconcile exactly
+(``spawned == synced``) — a workload that leaves live threads is a bug, not
+a number.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from .capabilities import MODEL_NAMES
+from .model import Machine
+
+__all__ = [
+    "COMPARISONS",
+    "ComparisonCell",
+    "ModelComparison",
+    "render_models_table",
+    "run_comparison",
+]
+
+
+@dataclass(frozen=True)
+class ModelComparison:
+    """One row of the models table.
+
+    ``run(machine, n)`` must build its input from ``machine.rng``, execute
+    the algorithm, and *verify* the answer (an unverified step count is
+    not evidence).  It is called once per model.
+    """
+
+    name: str
+    default_n: int
+    run: Callable[[Machine, int], None]
+    description: str
+
+
+@dataclass(frozen=True)
+class ComparisonCell:
+    """The cost of one workload on one model."""
+
+    model: str
+    n: int
+    steps: int
+    ops: int
+    spawned: int
+    synced: int
+    revoked: int
+
+
+# --------------------------------------------------------------------- #
+# Workloads (imports deferred: algorithms -> core -> machine is the
+# package's layering, so this module must not import them at load time)
+# --------------------------------------------------------------------- #
+
+def _run_plus_scan(m: Machine, n: int) -> None:
+    from ..core import scans
+
+    data = m.rng.integers(0, 100, size=n)
+    out = scans.plus_scan(m.vector(data)).to_array()
+    expect = np.concatenate(([0], np.cumsum(data[:-1]))) if n else data
+    assert np.array_equal(out, expect)
+
+
+def _run_radix_sort(m: Machine, n: int) -> None:
+    from ..algorithms import split_radix_sort
+
+    data = m.rng.integers(0, 256, size=n)
+    out = split_radix_sort(m.vector(data), 8).to_array()
+    assert np.array_equal(out, np.sort(data))
+
+
+def _run_quicksort(m: Machine, n: int) -> None:
+    from ..algorithms import quicksort
+
+    data = m.rng.integers(0, 1000, size=n)
+    out = quicksort(m.vector(data)).to_array()
+    assert np.array_equal(out, np.sort(data))
+
+
+def _run_list_ranking(m: Machine, n: int) -> None:
+    from ..algorithms import list_rank
+
+    order = m.rng.permutation(n)
+    next_ = np.full(n, -1, dtype=np.int64)
+    next_[order[:-1]] = order[1:]
+    ranks = list_rank(m.vector(next_)).to_array()
+    # distance to the end of the list: last node in `order` has rank 0
+    assert np.array_equal(ranks[order], np.arange(n - 1, -1, -1))
+
+
+def _run_list_contraction(m: Machine, n: int) -> None:
+    from ..algorithms import list_contraction, serial_list_ranks
+
+    order = m.rng.permutation(n)
+    next_ = np.full(n, -1, dtype=np.int64)
+    next_[order[:-1]] = order[1:]
+    result = list_contraction(m, next_)
+    assert np.array_equal(result.ranks, serial_list_ranks(next_))
+
+
+def _run_random_permutation(m: Machine, n: int) -> None:
+    from ..algorithms import random_permutation, serial_random_permutation
+
+    result = random_permutation(m, n)
+    assert np.array_equal(result.order, serial_random_permutation(result.darts))
+
+
+def _run_spmv(m: Machine, n: int) -> None:
+    from ..algorithms import SparseMatrix
+
+    rows = min(n, 64)
+    dense = np.where(m.rng.random((rows, rows)) < 4.0 / rows,
+                     m.rng.integers(1, 10, size=(rows, rows)), 0)
+    x = m.rng.integers(-5, 6, size=rows)
+    y = SparseMatrix(m, dense).matvec(x).to_array()
+    assert np.array_equal(y, dense @ x)
+
+
+COMPARISONS: dict[str, ModelComparison] = {
+    "plus_scan": ModelComparison(
+        "plus_scan", 1024, _run_plus_scan,
+        "one +-scan: the primitive the paper promotes to unit time"),
+    "radix_sort": ModelComparison(
+        "radix_sort", 256, _run_radix_sort,
+        "split radix sort, 8-bit keys (Section 2.2.1)"),
+    "quicksort": ModelComparison(
+        "quicksort", 256, _run_quicksort,
+        "segmented quicksort (Section 2.3.1)"),
+    "list_ranking": ModelComparison(
+        "list_ranking", 256, _run_list_ranking,
+        "pointer-jumping list ranking (Table 1's list ranking row)"),
+    "list_contraction": ModelComparison(
+        "list_contraction", 256, _run_list_contraction,
+        "BFGS priority-splice list contraction with replayed ranks"),
+    "random_permutation": ModelComparison(
+        "random_permutation", 256, _run_random_permutation,
+        "BFGS dart-throwing permutation, sequentially equivalent to "
+        "Durstenfeld"),
+    "spmv": ModelComparison(
+        "spmv", 256, _run_spmv,
+        "sparse matrix-vector product over the Figure 6 representation"),
+}
+
+
+def run_comparison(
+    name: str,
+    *,
+    models: Sequence[str] = MODEL_NAMES,
+    n: Optional[int] = None,
+    seed: int = 0,
+    num_processors: Optional[int] = None,
+) -> list[ComparisonCell]:
+    """Run one registered workload on each model and return its cost cells.
+
+    Every model gets a fresh :class:`Machine` seeded identically, so inputs
+    and internal randomness are byte-for-byte the same; the fork ledger is
+    checked for exact reconciliation after every run.
+    """
+    comp = COMPARISONS[name]
+    size = comp.default_n if n is None else n
+    cells = []
+    for model in models:
+        m = Machine(model, seed=seed, num_processors=num_processors)
+        comp.run(m, size)
+        if not m.fork_counters.reconciles():
+            raise RuntimeError(
+                f"{name} on {model!r} left the fork ledger unbalanced: "
+                f"{m.fork_counters.summary()}")
+        fc = m.fork_counters
+        cells.append(ComparisonCell(model=model, n=size, steps=m.steps,
+                                    ops=m.counter.ops, spawned=fc.spawned,
+                                    synced=fc.synced, revoked=fc.revoked))
+    return cells
+
+
+def render_models_table(
+    *,
+    names: Optional[Iterable[str]] = None,
+    models: Sequence[str] = MODEL_NAMES,
+    n: Optional[int] = None,
+    seed: int = 0,
+    num_processors: Optional[int] = None,
+) -> str:
+    """Render the Table-1-style grid: one row per workload, one step-count
+    column per model, plus the binary-forking fork-ledger totals."""
+    selected = list(names) if names is not None else list(COMPARISONS)
+    unknown = [s for s in selected if s not in COMPARISONS]
+    if unknown:
+        raise KeyError(f"unknown comparison(s): {', '.join(unknown)}; "
+                       f"available: {', '.join(COMPARISONS)}")
+    grid: dict[str, list[ComparisonCell]] = {
+        s: run_comparison(s, models=models, n=n, seed=seed,
+                          num_processors=num_processors)
+        for s in selected
+    }
+    name_w = max(len("algorithm (steps)"), *(len(s) for s in selected))
+    col_w = {mdl: max(len(mdl), 8) for mdl in models}
+    lines = []
+    sizes = sorted({c.n for cells in grid.values() for c in cells})
+    size_label = (f"n={sizes[0]}" if len(sizes) == 1
+                  else "n=" + ",".join(str(s) for s in sizes))
+    lines.append(f"Program steps by model ({size_label}, seed={seed}, "
+                 f"p={'n' if num_processors is None else num_processors})")
+    lines.append("")
+    header = "algorithm (steps)".ljust(name_w)
+    for mdl in models:
+        header += "  " + mdl.rjust(col_w[mdl])
+    lines.append(header)
+    lines.append("-" * len(header))
+    spawned = synced = revoked = 0
+    for s in selected:
+        row = s.ljust(name_w)
+        for cell in grid[s]:
+            row += "  " + str(cell.steps).rjust(col_w[cell.model])
+            if cell.model == "binary-forking":
+                spawned += cell.spawned
+                synced += cell.synced
+                revoked += cell.revoked
+        lines.append(row)
+    if "binary-forking" in models:
+        lines.append("")
+        status = "reconciled" if spawned == synced else "UNBALANCED"
+        lines.append(f"binary-forking fork ledger: spawned={spawned} "
+                     f"synced={synced} ({status}), revoked={revoked}")
+    return "\n".join(lines)

@@ -12,7 +12,7 @@ from collections import Counter
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-__all__ = ["FaultCounters", "StepCounter", "StepSnapshot"]
+__all__ = ["FaultCounters", "ForkCounters", "StepCounter", "StepSnapshot"]
 
 
 @dataclass
@@ -68,6 +68,45 @@ class FaultCounters:
                 f"masked={self.masked} undetected={self.undetected} "
                 f"retried={self.retried} corrected={self.corrected} "
                 f"degraded_scans={self.degraded_scans}")
+
+
+@dataclass
+class ForkCounters:
+    """Spawn/sync/revoke ledger for the binary-forking model.
+
+    Launching one primitive over ``p`` leaves forks a binary tree —
+    ``p - 1`` spawns on the way down, ``p - 1`` syncs (joins) on the way
+    back up — so a machine at quiescence always reconciles exactly:
+    ``spawned == synced`` and no thread is ``live``.  ``revoked`` counts
+    test-and-set reservation attempts that lost their race and must be
+    re-forked in a later round (the retry currency of the BFGS random
+    permutation); revokes never unbalance the ledger because the losing
+    thread still joins.
+    """
+
+    spawned: int = 0
+    synced: int = 0
+    revoked: int = 0
+
+    @property
+    def live(self) -> int:
+        """Threads forked but not yet joined (0 at every quiescent point)."""
+        return self.spawned - self.synced
+
+    def reconciles(self) -> bool:
+        """``spawned == synced`` with every column non-negative — the
+        ledger-style exactness the fault counters also promise."""
+        return (self.spawned >= 0 and self.revoked >= 0
+                and self.spawned == self.synced)
+
+    def reset(self) -> None:
+        self.spawned = 0
+        self.synced = 0
+        self.revoked = 0
+
+    def summary(self) -> str:
+        return (f"spawned={self.spawned} synced={self.synced} "
+                f"live={self.live} revoked={self.revoked}")
 
 
 @dataclass(frozen=True)

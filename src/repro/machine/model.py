@@ -9,10 +9,14 @@ physical P-RAM, so this module provides the closest executable equivalent: a
 it simulates.  Step counts — the quantity all of the paper's Table 1 and
 Table 5 results are stated in — are therefore measured exactly, not timed.
 
-Four models are provided (see :mod:`repro.machine.capabilities`): ``erew``,
-``crew``, ``crcw`` (with the paper's combining-write extension), and ``scan``
-(EREW + unit-time scans).  The same algorithm code runs unchanged on any of
-them; only the charges differ.  Machines may also be constructed with fewer
+Five models are provided (see :mod:`repro.machine.capabilities`): ``erew``,
+``crew``, ``crcw`` (with the paper's combining-write extension), ``scan``
+(EREW + unit-time scans), and ``binary-forking`` — the
+Blelloch–Fineman–Gu–Sun successor to the P-RAM, where every primitive is
+launched by a binary fork/join tree whose ``2⌈lg p⌉`` span is charged on
+top of the block work and recorded spawn-for-sync in a
+:class:`~repro.machine.counters.ForkCounters` ledger.  The same algorithm
+code runs unchanged on any of them; only the charges differ.  Machines may also be constructed with fewer
 processors than vector elements (``num_processors=p``), in which case each
 processor simulates a contiguous block of ``ceil(n/p)`` elements exactly as in
 the paper's Figure 10, and ``work = p * steps`` gives the processor-step
@@ -30,7 +34,7 @@ from .._util import ceil_div, ceil_log2
 from ..backends import Backend, resolve_backend
 from ..observe.metrics import registry as _metrics
 from .capabilities import CAPABILITIES, Capabilities
-from .counters import FaultCounters, StepCounter, StepSnapshot
+from .counters import FaultCounters, ForkCounters, StepCounter, StepSnapshot
 
 __all__ = ["Machine", "CapabilityError"]
 
@@ -75,7 +79,8 @@ class Machine:
     Parameters
     ----------
     model:
-        One of ``"erew"``, ``"crew"``, ``"crcw"``, ``"scan"``.
+        One of ``"erew"``, ``"crew"``, ``"crcw"``, ``"scan"``,
+        ``"binary-forking"``.
     num_processors:
         If given, simulate only ``p`` physical processors: an ``n``-element
         primitive charges ``ceil(n/p)`` sub-steps for its elementwise part
@@ -161,6 +166,9 @@ class Machine:
         self.num_processors = num_processors
         self.allow_concurrent_write = allow_concurrent_write
         self.counter = StepCounter()
+        #: spawn/sync/revoke ledger (only the binary-forking model moves
+        #: the spawn/sync columns; revokes are model-independent)
+        self.fork_counters = ForkCounters()
         self.concurrent_writes_used = 0
         self.peak_elements = 0
         self.rng = np.random.default_rng(seed)
@@ -224,6 +232,7 @@ class Machine:
         """Zero all counters and clear the degraded-scan latch (the RNG
         state and any attached injector's schedule position are kept)."""
         self.counter.reset()
+        self.fork_counters.reset()
         self.concurrent_writes_used = 0
         self.peak_elements = 0
         self.fault_counters.reset()
@@ -323,24 +332,53 @@ class Machine:
 
     def _cross_scan_cost(self, p: int) -> int:
         """Cost of a scan across ``p`` processors: one step in the scan
-        model, an up-and-down tree sweep of memory references otherwise."""
+        model, an up-and-down tree sweep of memory references otherwise.
+        On the binary-forking model the sweep *is* the fork/join walk, so
+        the count is the same ``2⌈lg p⌉`` as EREW (recorded in the fork
+        ledger by the caller)."""
         if p <= 1:
             return 1
         if self.capabilities.unit_scan:
             return 1
         return max(1, 2 * ceil_log2(p))
 
+    def _fork_record(self, n: int) -> None:
+        """Record the binary fork/join tree launching one primitive over
+        ``n`` elements: ``p - 1`` spawns matched by ``p - 1`` syncs (the
+        tree always joins before the primitive returns, which is why the
+        ledger reconciles at every quiescent point).  No-op on the
+        synchronous P-RAM models."""
+        if not self.capabilities.forked or n <= 0:
+            return
+        p = self._effective_p(n)
+        if p > 1:
+            self.fork_counters.spawned += p - 1
+            self.fork_counters.synced += p - 1
+
+    def _spawn_span(self, n: int) -> int:
+        """Span of the fork/join tree launching one primitive over ``n``
+        elements on a forked model (``2⌈lg p⌉``; 0 on the synchronous
+        models, where primitives launch for free), recorded in the fork
+        ledger as a side effect."""
+        if not self.capabilities.forked or n <= 0:
+            return 0
+        self._fork_record(n)
+        p = self._effective_p(n)
+        return 2 * ceil_log2(p) if p > 1 else 0
+
     # ------------------------------------------------------------------ #
     # Charging API (used by Vector / core ops, not by algorithms directly)
     # ------------------------------------------------------------------ #
 
     def charge_elementwise(self, n: int) -> None:
-        """One parallel arithmetic / logical / select step over ``n`` elements."""
-        self.counter.charge("elementwise", self._block(n))
+        """One parallel arithmetic / logical / select step over ``n``
+        elements (plus the fork/join span on the binary-forking model,
+        where even a map must spawn its threads)."""
+        self.counter.charge("elementwise", self._block(n) + self._spawn_span(n))
 
     def charge_permute(self, n: int) -> None:
         """One exclusive-write permutation step (unique destinations)."""
-        self.counter.charge("permute", self._block(n))
+        self.counter.charge("permute", self._block(n) + self._spawn_span(n))
 
     def charge_gather(self, n: int, *, unique: bool) -> None:
         """A parallel read ``A[I]``.  With duplicate indices this is a
@@ -350,7 +388,7 @@ class Machine:
                 f"gather with duplicate indices is a concurrent read, "
                 f"illegal on the {self.model!r} model"
             )
-        self.counter.charge("gather", self._block(n))
+        self.counter.charge("gather", self._block(n) + self._spawn_span(n))
 
     def charge_scan(self, n: int) -> None:
         """One scan primitive over an ``n``-element vector."""
@@ -361,6 +399,10 @@ class Machine:
             return
         block = self._block(n)
         p = self._effective_p(n)
+        # On the forked model the tree sweep is computed on the fork/join
+        # walk itself, so the scan pays exactly the EREW count and only
+        # the ledger records the spawns.
+        self._fork_record(n)
         if block <= 1:
             cost = self._cross_scan_cost(p)
         else:
@@ -380,7 +422,11 @@ class Machine:
             return
         block = self._block(n)
         p = self._effective_p(n)
-        if self.capabilities.concurrent_read:
+        if self.capabilities.forked:
+            # the value rides the fork tree down; the mandatory join walks
+            # back up — concurrent reads don't save the spawn
+            cross = self._spawn_span(n) or 1
+        elif self.capabilities.concurrent_read:
             cross = 1
         elif self.capabilities.unit_scan:
             cross = 1
@@ -399,7 +445,10 @@ class Machine:
             return
         block = self._block(n)
         p = self._effective_p(n)
-        if self.capabilities.combining_write:
+        if self.capabilities.forked:
+            # combining on the join half of the mandatory fork/join walk
+            cross = self._spawn_span(n) or 1
+        elif self.capabilities.combining_write:
             cross = 1
         elif self.capabilities.unit_scan:
             cross = 1
@@ -418,7 +467,38 @@ class Machine:
                     f"to permit it (as the paper does for line drawing)"
                 )
             self.concurrent_writes_used += 1
-        self.counter.charge("combine_write", self._block(n))
+        self.counter.charge("combine_write",
+                            self._block(n) + self._spawn_span(n))
+
+    def charge_test_and_set(self, n: int, *, revoked: int = 0) -> None:
+        """One atomic reservation step over ``n`` cells: every contender
+        test-and-sets (min-priority wins), the BFGS algorithms' one atomic.
+
+        Native on models whose capabilities include ``test_and_set`` (the
+        binary-forking model and the extended CRCW, whose combining write
+        subsumes it); the other models *simulate* the colliding writes
+        with a sort-and-segmented-copy charged ``2⌈lg p⌉`` extra on this
+        one step — the same simulation :meth:`SparseMatrix.matvec
+        <repro.algorithms.sparse.SparseMatrix.matvec>` charges for
+        duplicate gathers, so the comparison table can run the BFGS
+        algorithms on every model.  ``revoked`` records how many of the
+        reservation attempts lost the race and must retry in a later
+        round (the fork ledger's revoke column).
+        """
+        if revoked:
+            if revoked < 0:
+                raise ValueError(f"negative revoke count: {revoked}")
+            self.fork_counters.revoked += revoked
+        if n == 0:
+            self.counter.charge("test_and_set", 0)
+            return
+        block = self._block(n)
+        p = self._effective_p(n)
+        if self.capabilities.test_and_set:
+            cost = block + self._spawn_span(n)
+        else:
+            cost = block + (2 * ceil_log2(p) if p > 1 else 0)
+        self.counter.charge("test_and_set", cost)
 
     # ------------------------------------------------------------------ #
     # Vector factories

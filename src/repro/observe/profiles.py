@@ -189,6 +189,56 @@ def _run_line_drawing(m, n: int, rng: np.random.Generator) -> None:
     assert (drawing.counts.data > 0).all()
 
 
+def _run_csv_split(m, n: int, rng: np.random.Generator) -> None:
+    from ..algorithms.text import parse_csv
+
+    letters = np.frombuffer(b"abcdefghijklmnopqrstuvwxyz", dtype=np.uint8)
+    fields = []
+    for _ in range(n):
+        k = int(rng.integers(0, 9))
+        fields.append(bytes(rng.choice(letters, size=k)) if k else b"")
+    rows = [fields[i:i + 8] for i in range(0, n, 8)]
+    text = b"\n".join(b",".join(r) for r in rows)
+    with span("parse_csv"):
+        result = parse_csv(m, text)
+    assert result.rows() == [r.split(b",") for r in text.split(b"\n")]
+
+
+def _run_compression(m, n: int, rng: np.random.Generator) -> None:
+    from ..algorithms.codecs import (delta_decode, delta_encode, rle_decode,
+                                     rle_encode)
+
+    # piecewise-linear signal: the deltas are long constant runs, so the
+    # delta+RLE pipeline actually compresses (asserted below)
+    slopes = np.repeat(rng.integers(-3, 4, size=n // 8 + 1), 8)[:n]
+    data = np.cumsum(slopes)
+    with span("encode"):
+        with span("delta"):
+            deltas = delta_encode(m.vector(data))
+        with span("rle"):
+            values, lengths = rle_encode(deltas)
+    assert len(values) < max(n // 2, 1)
+    with span("decode"):
+        with span("unrle"):
+            expanded = rle_decode(values, lengths)
+        with span("undelta"):
+            out = delta_decode(expanded)
+    assert np.array_equal(out.data, data)
+
+
+def _run_spmv(m, n: int, rng: np.random.Generator) -> None:
+    from ..algorithms import SparseMatrix
+
+    dense = np.where(rng.random((n, n)) < 4.0 / n,
+                     rng.integers(1, 10, size=(n, n)), 0)
+    x = rng.integers(-5, 6, size=n)
+    with span("build"):
+        matrix = SparseMatrix(m, dense)
+    with span("matvec"):
+        y = matrix.matvec(x)
+    assert np.array_equal(y.data, dense @ x)
+
+
 WORKLOADS: dict[str, Workload] = {
     w.name: w for w in (
         Workload("radix_sort", 512, _run_radix_sort,
@@ -212,6 +262,12 @@ WORKLOADS: dict[str, Workload] = {
         Workload("line_drawing", 16, _run_line_drawing,
                  machine_kwargs={"allow_concurrent_write": True},
                  description="grid line drawing (Sec 5, Figure 9)"),
+        Workload("csv_split", 256, _run_csv_split,
+                 description="CSV rows/fields via segmented field splitting"),
+        Workload("compression", 1024, _run_compression,
+                 description="delta + run-length codec round trip"),
+        Workload("spmv", 128, _run_spmv,
+                 description="sparse matrix-vector product (Sec 5, Fig 6)"),
     )
 }
 

@@ -60,6 +60,7 @@ class OpSpec:
     n_flags: int = 0             #: auxiliary boolean vectors (seg_split...)
     nan_ok: bool = True          #: NaN admitted in generated float values
     additive: bool = False       #: float results compared with tolerance
+    model: str = "scan"          #: cost model the runner builds Machines on
 
 
 OPS: dict[str, OpSpec] = {}
@@ -273,3 +274,93 @@ _register(OpSpec(name="fused_cast_plus_scan", family="fused",
                  dtypes=("int8", "int16", "uint8", "uint32", "bool",
                          "float64"),
                  additive=True))
+
+# ----------------------------- codecs ---------------------------------- #
+# The compression workloads (repro.algorithms.codecs) on the differential
+# surface: RLE is exact for every dtype (NaN is always its own run), delta
+# is arithmetic so it skips bool, and the delta round trip is additive (a
+# float decode re-sums the diffs, so blocked partial sums differ in the
+# last ulp).
+
+
+def _delta_encode(m, mat: Materialized):
+    from ..algorithms import codecs
+
+    return codecs.delta_encode(m.vector(mat.values)).data
+
+
+def _delta_round_trip(m, mat: Materialized):
+    from ..algorithms import codecs
+
+    return codecs.delta_decode(codecs.delta_encode(m.vector(mat.values))).data
+
+
+def _rle_encode_values(m, mat: Materialized):
+    from ..algorithms import codecs
+
+    return codecs.rle_encode(m.vector(mat.values))[0].data
+
+
+def _rle_encode_lengths(m, mat: Materialized):
+    from ..algorithms import codecs
+
+    return codecs.rle_encode(m.vector(mat.values))[1].data
+
+
+def _rle_round_trip(m, mat: Materialized):
+    from ..algorithms import codecs
+
+    values, lengths = codecs.rle_encode(m.vector(mat.values))
+    return codecs.rle_decode(values, lengths).data
+
+
+_register(OpSpec(name="delta_encode", family="codec", run=_delta_encode,
+                 oracle=_orc("delta_encode"), dtypes=_DTYPES_NO_BOOL))
+
+_register(OpSpec(name="delta_round_trip", family="codec",
+                 run=_delta_round_trip, oracle=_orc("delta_round_trip"),
+                 dtypes=_DTYPES_NO_BOOL, additive=True))
+
+_register(OpSpec(name="rle_encode_values", family="codec",
+                 run=_rle_encode_values, oracle=_orc("rle_encode_values"),
+                 dtypes=DTYPES_FULL))
+
+_register(OpSpec(name="rle_encode_lengths", family="codec",
+                 run=_rle_encode_lengths, oracle=_orc("rle_encode_lengths"),
+                 dtypes=DTYPES_FULL))
+
+_register(OpSpec(name="rle_round_trip", family="codec",
+                 run=_rle_round_trip, oracle=_orc("rle_round_trip"),
+                 dtypes=DTYPES_FULL))
+
+# ------------------------- binary-forking ------------------------------ #
+# The same public operations fuzzed on Machine(model="binary-forking"):
+# results and cross-engine step charges must match exactly as on the scan
+# model (only the per-step costs differ), and the fork ledger must
+# reconcile after every case — spawn/sync imbalance is a divergence the
+# type system can't see, so the runner gets it as an assertion.
+
+
+def _forked(run_fn):
+    def run(m, mat: Materialized):
+        out = run_fn(m, mat)
+        assert m.fork_counters.reconciles(), (
+            f"fork ledger unbalanced: {m.fork_counters.summary()}")
+        return out
+    return run
+
+
+_register(OpSpec(name="forking_plus_scan", family="scan",
+                 run=_forked(_plain(scans.plus_scan)),
+                 oracle=_orc("plus_scan"), dtypes=DTYPES_FULL,
+                 additive=True, model="binary-forking"))
+
+_register(OpSpec(name="forking_seg_plus_scan", family="segmented",
+                 run=_forked(_seg(segmented.seg_plus_scan)),
+                 oracle=_orc("seg_plus_scan"), dtypes=DTYPES_FULL,
+                 segmented=True, additive=True, model="binary-forking"))
+
+_register(OpSpec(name="forking_delta_round_trip", family="codec",
+                 run=_forked(_delta_round_trip),
+                 oracle=_orc("delta_round_trip"), dtypes=_DTYPES_NO_BOOL,
+                 additive=True, model="binary-forking"))

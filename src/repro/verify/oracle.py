@@ -429,6 +429,48 @@ def fused_cast_plus_scan(mat: Materialized) -> np.ndarray:
     return plus_scan(_chain(mat, mat.values.astype(np.float64)))
 
 
+# ------------------------------ codecs -------------------------------- #
+
+def delta_encode(mat: Materialized) -> np.ndarray:
+    v = mat.values
+    out = v.copy()
+    with np.errstate(all="ignore"):
+        out[1:] = v[1:] - v[:-1]
+    return out
+
+
+def delta_round_trip(mat: Materialized) -> np.ndarray:
+    return mat.values.copy()
+
+
+def _serial_rle(values: np.ndarray) -> tuple[list, list]:
+    vals: list = []
+    lens: list = []
+    with np.errstate(all="ignore"):
+        for x in values:
+            # NaN != NaN starts a new run, matching adjacent_ne semantics
+            if lens and bool(x == vals[-1]):
+                lens[-1] += 1
+            else:
+                vals.append(x)
+                lens.append(1)
+    return vals, lens
+
+
+def rle_encode_values(mat: Materialized) -> np.ndarray:
+    vals, _ = _serial_rle(mat.values)
+    return np.array(vals, dtype=mat.values.dtype)
+
+
+def rle_encode_lengths(mat: Materialized) -> np.ndarray:
+    _, lens = _serial_rle(mat.values)
+    return np.array(lens, dtype=np.int64)
+
+
+def rle_round_trip(mat: Materialized) -> np.ndarray:
+    return mat.values.copy()
+
+
 #: oracle function per operation name (keys match ``opset.OPS``)
 ORACLES = {
     name: fn for name, fn in list(globals().items())

@@ -147,7 +147,7 @@ def _run_materialized(spec: OpSpec, case: Case, mat, engines) -> "CaseOutcome":
     for engine in engines:
         for fusion in (False, True):
             label = f"{engine}[{'fused' if fusion else 'eager'}]"
-            m = Machine("scan", backend=engine, fusion=fusion)
+            m = Machine(spec.model, backend=engine, fusion=fusion)
             try:
                 actual = spec.run(m, mat)
             except Exception as exc:  # an engine crashing IS a finding

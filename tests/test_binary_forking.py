@@ -1,0 +1,241 @@
+"""The binary-forking cost model: spans, the fork ledger, and the two
+BFGS algorithms (random permutation, list contraction).
+
+The ledger claim is exact, not statistical: every primitive launched over
+``p`` leaves spawns ``p - 1`` threads and joins all of them, so after any
+quiescent point ``spawned == synced`` to the unit.  The algorithm claims
+are sequential-equivalence claims: the parallel rounds must reproduce the
+serial loop bit for bit, on *every* model.
+"""
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro._util import ceil_log2
+from repro.algorithms import (
+    list_contraction,
+    random_permutation,
+    serial_list_ranks,
+    serial_random_permutation,
+)
+from repro.core import scans
+from repro.machine import CAPABILITIES, MODEL_NAMES
+from repro.machine.comparison import (
+    COMPARISONS,
+    render_models_table,
+    run_comparison,
+)
+
+
+def _chain(rng, n):
+    order = rng.permutation(n)
+    nxt = np.full(n, -1, dtype=np.int64)
+    nxt[order[:-1]] = order[1:]
+    return nxt
+
+
+class TestCosts:
+    def test_elementwise_pays_fork_span(self):
+        m = Machine("binary-forking")
+        _ = m.vector(range(64)) + 1
+        assert m.steps == 1 + 2 * ceil_log2(64)
+        assert m.fork_counters.spawned == 63
+        assert m.fork_counters.synced == 63
+
+    def test_scan_cost_equals_erew(self):
+        """The tree sweep rides the fork/join walk: same count as EREW,
+        only the ledger differs."""
+        for n in (1, 2, 17, 256):
+            e, b = Machine("erew"), Machine("binary-forking")
+            scans.plus_scan(e.vector(range(n)))
+            scans.plus_scan(b.vector(range(n)))
+            assert e.steps == b.steps, n
+            assert b.fork_counters.reconciles()
+
+    def test_broadcast_concurrent_read_does_not_skip_the_fork(self):
+        m = Machine("binary-forking")
+        m.charge_broadcast(256)
+        assert m.counter.by_kind["broadcast"] == 2 * ceil_log2(256)
+
+    def test_ledger_reconciles_per_primitive(self):
+        m = Machine("binary-forking")
+        m.charge_permute(100)
+        m.charge_reduce(100)
+        m.charge_scan(100)
+        fc = m.fork_counters
+        assert fc.spawned == fc.synced == 3 * 99
+        assert fc.live == 0 and fc.reconciles()
+
+    def test_reset_clears_ledger(self):
+        m = Machine("binary-forking")
+        m.charge_elementwise(10)
+        m.reset()
+        assert m.fork_counters.spawned == m.fork_counters.synced == 0
+
+    def test_limited_processors_bound_the_tree(self):
+        m = Machine("binary-forking", num_processors=4)
+        m.charge_elementwise(64)
+        # ceil(64/4) block + the 4-leaf fork tree's span
+        assert m.steps == 16 + 2 * ceil_log2(4)
+        assert m.fork_counters.spawned == 3
+
+    def test_synchronous_models_never_touch_the_ledger(self):
+        for model in MODEL_NAMES:
+            if CAPABILITIES[model].forked:
+                continue
+            m = Machine(model)
+            m.charge_elementwise(50)
+            m.charge_scan(50)
+            assert m.fork_counters.spawned == 0, model
+
+    def test_test_and_set_native_vs_simulated(self):
+        native = Machine("binary-forking")
+        native.charge_test_and_set(64)
+        assert native.counter.by_kind["test_and_set"] == 1 + 2 * ceil_log2(64)
+        crcw = Machine("crcw")
+        crcw.charge_test_and_set(64)
+        assert crcw.counter.by_kind["test_and_set"] == 1
+        erew = Machine("erew")
+        erew.charge_test_and_set(64)
+        assert erew.counter.by_kind["test_and_set"] == 1 + 2 * ceil_log2(64)
+
+    def test_test_and_set_records_revokes(self):
+        m = Machine("binary-forking")
+        m.charge_test_and_set(8, revoked=3)
+        assert m.fork_counters.revoked == 3
+        assert m.fork_counters.reconciles()
+        with pytest.raises(ValueError, match="negative revoke"):
+            m.charge_test_and_set(8, revoked=-1)
+
+
+class TestRandomPermutation:
+    @pytest.mark.parametrize("model", MODEL_NAMES)
+    def test_equals_serial_durstenfeld(self, model):
+        m = Machine(model, seed=11)
+        result = random_permutation(m, 300)
+        assert np.array_equal(result.order,
+                              serial_random_permutation(result.darts))
+        assert m.fork_counters.reconciles()
+
+    def test_is_a_permutation_and_attempts_reconcile(self):
+        m = Machine("binary-forking", seed=5)
+        r = random_permutation(m, 200)
+        assert sorted(r.order.tolist()) == list(range(200))
+        # every attempt either committed (n of them) or was revoked
+        assert r.attempts == 200 + m.fork_counters.revoked
+
+    def test_adversarial_darts_all_to_last_cell(self):
+        """Every dart targets cell n-1: one winner per round, n rounds,
+        maximum contention — and still sequentially equivalent."""
+        n = 40
+        darts = np.full(n, n - 1, dtype=np.int64)
+        m = Machine("binary-forking")
+        r = random_permutation(m, n, darts=darts)
+        assert np.array_equal(r.order, serial_random_permutation(darts))
+        assert r.rounds == n
+        assert m.fork_counters.revoked == n * (n - 1) // 2
+
+    def test_identity_darts_finish_in_one_round(self):
+        n = 32
+        darts = np.arange(n, dtype=np.int64)
+        m = Machine("scan")
+        r = random_permutation(m, n, darts=darts)
+        assert r.rounds == 1
+        assert np.array_equal(r.order, np.arange(n))
+
+    def test_empty_and_singleton(self):
+        assert random_permutation(Machine("binary-forking"), 0).order.size == 0
+        r = random_permutation(Machine("binary-forking"), 1)
+        assert r.order.tolist() == [0]
+
+    def test_bad_darts_rejected(self):
+        m = Machine("scan")
+        with pytest.raises(ValueError, match=r"\[i, n\)"):
+            random_permutation(m, 4, darts=np.array([0, 0, 2, 3]))
+        with pytest.raises(ValueError, match="expected 4 darts"):
+            random_permutation(m, 4, darts=np.array([0, 1]))
+
+
+class TestListContraction:
+    @pytest.mark.parametrize("model", MODEL_NAMES)
+    def test_matches_serial_walk(self, model):
+        rng = np.random.default_rng(3)
+        nxt = _chain(rng, 257)
+        m = Machine(model, seed=9)
+        result = list_contraction(m, nxt)
+        assert np.array_equal(result.ranks, serial_list_ranks(nxt))
+        assert m.fork_counters.reconciles()
+
+    def test_replayed_priorities_are_deterministic(self):
+        nxt = _chain(np.random.default_rng(0), 100)
+        pri = np.random.default_rng(1).permutation(100)
+        a = list_contraction(Machine("scan"), nxt, priorities=pri)
+        b = list_contraction(Machine("erew"), nxt, priorities=pri)
+        assert np.array_equal(a.ranks, b.ranks)
+        assert a.rounds == b.rounds
+
+    def test_small_lists(self):
+        m = Machine("binary-forking")
+        assert list_contraction(m, np.empty(0, np.int64)).ranks.size == 0
+        assert list_contraction(m, np.array([-1])).ranks.tolist() == [0]
+        two = list_contraction(m, np.array([-1, 0]))
+        assert two.ranks.tolist() == [1, 0]
+        assert m.fork_counters.reconciles()
+
+    def test_rejects_cycles_and_forests(self):
+        m = Machine("scan")
+        with pytest.raises(ValueError, match="cover every node"):
+            list_contraction(m, np.array([1, 2, 0, -1]))  # cycle + tail
+        with pytest.raises(ValueError, match="one tail"):
+            list_contraction(m, np.array([-1, -1]))
+        with pytest.raises(ValueError, match="at most one predecessor"):
+            list_contraction(m, np.array([2, 2, -1]))
+
+    def test_bad_priorities_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            list_contraction(Machine("scan"), np.array([1, -1]),
+                             priorities=np.array([0, 0]))
+
+
+class TestComparisonTable:
+    def test_every_row_runs_on_every_model(self):
+        for name in COMPARISONS:
+            cells = run_comparison(name, n=64, seed=1)
+            assert [c.model for c in cells] == list(MODEL_NAMES)
+            for c in cells:
+                assert c.steps > 0
+                assert c.spawned == c.synced  # ledger-exact, per cell
+
+    def test_forked_column_is_never_cheaper_than_scan(self):
+        """The fork span is a surcharge: with p = n the binary-forking
+        column dominates the scan column on every workload."""
+        for name in COMPARISONS:
+            cells = {c.model: c for c in run_comparison(name, n=32, seed=0)}
+            assert cells["binary-forking"].steps >= cells["scan"].steps, name
+
+    def test_render_includes_ledger_line(self):
+        table = render_models_table(names=["plus_scan"], n=16)
+        assert "binary-forking" in table
+        assert "reconciled" in table
+        assert "revoked" in table
+
+    def test_render_rejects_unknown_names(self):
+        with pytest.raises(KeyError, match="unknown comparison"):
+            render_models_table(names=["mergesort"])
+
+
+class TestWorkloadsOnForkedModel:
+    """Tier-1 workloads run under model='binary-forking' with the ledger
+    reconciling exactly — the acceptance criterion of the model port."""
+
+    @pytest.mark.parametrize("algorithm", ["radix_sort", "list_ranking",
+                                           "compression", "csv_split",
+                                           "spmv"])
+    def test_workload_reconciles(self, algorithm):
+        from repro.observe.profiles import WORKLOADS
+
+        workload = WORKLOADS[algorithm]
+        m = Machine("binary-forking", seed=0, **workload.machine_kwargs)
+        workload.run(m, workload.default_n, np.random.default_rng(0))
+        fc = m.fork_counters
+        assert fc.spawned > 0 and fc.reconciles(), fc.summary()

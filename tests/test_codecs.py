@@ -1,0 +1,149 @@
+"""RLE and delta codecs: round-trip properties across backends and dtypes.
+
+The contract is exactness: ``decode(encode(x)) == x`` bit for bit for RLE
+on every dtype (NaN included — NaN never equals its neighbour, so it is
+always its own run) and for delta on every integer dtype (two's-complement
+wraparound cancels).  Hypothesis drives the property over adversarial
+values on three engines; the explicit cases pin the dtype boundaries and
+the empty/singleton shapes.
+"""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Machine
+from repro.algorithms import (
+    delta_decode,
+    delta_encode,
+    rle_decode,
+    rle_encode,
+)
+
+BACKENDS = ["numpy", "blocked:7", "reference"]
+
+INT_DTYPES = ["int8", "int16", "uint8", "uint32", "int64"]
+
+
+def _rle_round_trip(m, data):
+    values, lengths = rle_encode(m.vector(data))
+    assert len(values) == len(lengths)
+    if len(lengths):
+        assert int(lengths.data.min()) >= 1
+        assert int(lengths.data.sum()) == len(data)
+    out = rle_decode(values, lengths)
+    assert out.dtype == data.dtype
+    np.testing.assert_array_equal(out.data, data)
+
+
+def _delta_round_trip(m, data):
+    out = delta_decode(delta_encode(m.vector(data)))
+    assert out.dtype == data.dtype
+    np.testing.assert_array_equal(out.data, data)
+
+
+class TestRoundTripProperty:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data(), dtype=st.sampled_from(INT_DTYPES))
+    def test_rle_int(self, backend, data, dtype):
+        info = np.iinfo(np.dtype(dtype))
+        # runs of repeated draws from a tiny pool force real compression
+        pool = st.sampled_from([info.min, info.max, 0, 1])
+        runs = data.draw(st.lists(st.tuples(pool, st.integers(1, 9)),
+                                  max_size=12))
+        arr = np.repeat([v for v, _ in runs],
+                        [r for _, r in runs]).astype(dtype)
+        _rle_round_trip(Machine("scan", backend=backend), arr)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @settings(max_examples=40, deadline=None)
+    @given(values=st.lists(st.one_of(
+        st.floats(allow_nan=True, allow_infinity=True, width=64),
+        st.sampled_from([0.0, -0.0, 1.5])), max_size=40))
+    def test_rle_float_including_nan(self, backend, values):
+        arr = np.array(values, dtype=np.float64)
+        _rle_round_trip(Machine("scan", backend=backend), arr)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data(), dtype=st.sampled_from(INT_DTYPES))
+    def test_delta_int_exact_under_wraparound(self, backend, data, dtype):
+        info = np.iinfo(np.dtype(dtype))
+        values = data.draw(st.lists(
+            st.integers(int(info.min), int(info.max)), max_size=40))
+        arr = np.array(values, dtype=dtype)
+        _delta_round_trip(Machine("scan", backend=backend), arr)
+
+    @settings(max_examples=25, deadline=None)
+    @given(values=st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                                     min_value=-1e6, max_value=1e6),
+                           max_size=40))
+    def test_delta_float_round_trips_within_tolerance(self, values):
+        arr = np.array(values, dtype=np.float64)
+        out = delta_decode(delta_encode(Machine("scan").vector(arr)))
+        np.testing.assert_allclose(out.data, arr, rtol=1e-9, atol=1e-9)
+
+
+class TestEdges:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("dtype", INT_DTYPES + ["float64", "bool"])
+    def test_empty_and_singleton(self, backend, dtype):
+        m = Machine("scan", backend=backend)
+        _rle_round_trip(m, np.empty(0, dtype=dtype))
+        _rle_round_trip(m, np.ones(1, dtype=dtype))
+        if dtype != "bool":
+            _delta_round_trip(m, np.empty(0, dtype=dtype))
+            _delta_round_trip(m, np.array([42], dtype=dtype))
+
+    def test_dtype_boundaries(self):
+        m = Machine("scan")
+        for dtype in INT_DTYPES:
+            info = np.iinfo(np.dtype(dtype))
+            arr = np.array([info.min, info.max, info.max, info.min, 0],
+                           dtype=dtype)
+            _rle_round_trip(m, arr)
+            _delta_round_trip(m, arr)
+
+    def test_rle_bool(self):
+        m = Machine("scan")
+        arr = np.array([True, True, False, True, True, True])
+        values, lengths = rle_encode(m.vector(arr))
+        assert values.to_list() == [True, False, True]
+        assert lengths.to_list() == [2, 1, 3]
+        _rle_round_trip(m, arr)
+
+    def test_nan_is_its_own_run(self):
+        m = Machine("scan")
+        arr = np.array([np.nan, np.nan, 1.0])
+        _, lengths = rle_encode(m.vector(arr))
+        assert lengths.to_list() == [1, 1, 1]
+
+    def test_zero_length_runs_decode_to_nothing(self):
+        m = Machine("scan")
+        out = rle_decode(m.vector([7, 8, 9]), m.vector([2, 0, 1]))
+        assert out.to_list() == [7, 7, 9]
+
+    def test_rle_decode_validates(self):
+        m = Machine("scan")
+        with pytest.raises(ValueError, match="disagree"):
+            rle_decode(m.vector([1]), m.vector([1, 2]))
+        with pytest.raises(ValueError, match="non-negative"):
+            rle_decode(m.vector([1]), m.vector([-1]))
+
+    def test_delta_rejects_bool(self):
+        m = Machine("scan")
+        with pytest.raises(TypeError, match="cast bools"):
+            delta_encode(m.flags([True, False]))
+        with pytest.raises(TypeError, match="cast bools"):
+            delta_decode(m.flags([True, False]))
+
+    def test_charges_are_backend_independent(self):
+        data = np.repeat([5, 6, 5], [3, 2, 4])
+        charges = []
+        for backend in BACKENDS:
+            m = Machine("scan", backend=backend)
+            values, lengths = rle_encode(m.vector(data))
+            rle_decode(values, lengths)
+            charges.append(dict(m.counter.by_kind))
+        assert charges[0] == charges[1] == charges[2]

@@ -1,4 +1,6 @@
 """Machine models: cost accounting, capabilities, long-vector simulation."""
+import re
+
 import numpy as np
 import pytest
 
@@ -10,7 +12,19 @@ from repro.machine import CAPABILITIES, MODEL_NAMES, StepCounter
 
 class TestConstruction:
     def test_models_available(self):
-        assert set(MODEL_NAMES) == {"erew", "crew", "crcw", "scan"}
+        assert set(MODEL_NAMES) == {"erew", "crew", "crcw", "scan",
+                                    "binary-forking"}
+
+    def test_every_documented_model_has_capabilities(self):
+        """Every model name quoted in Machine's docstring `model:` section
+        must have a CAPABILITIES row, and vice versa — the docstring is
+        the user-facing contract, the table the enforcement."""
+        doc = Machine.__doc__
+        model_section = doc.split("model:", 1)[1].split("num_processors:")[0]
+        documented = set(re.findall(r'"([a-z-]+)"', model_section))
+        assert documented == set(CAPABILITIES), (
+            f"Machine.__doc__ names {sorted(documented)} but CAPABILITIES "
+            f"has {sorted(CAPABILITIES)}")
 
     def test_unknown_model_rejected(self):
         with pytest.raises(ValueError, match="unknown machine model"):
@@ -49,11 +63,16 @@ class TestStepCharging:
         assert a.steps == b.steps
 
     def test_elementwise_is_one_step_everywhere(self):
+        """One step on every synchronous P-RAM; the binary-forking model
+        additionally pays the 2*ceil(lg p) span of the fork/join tree that
+        launches even an elementwise map."""
         for model in MODEL_NAMES:
             m = Machine(model)
             v = m.vector(range(50))
             _ = v + 1
-            assert m.steps == 1, model
+            expected = 1 + (2 * ceil_log2(50)
+                            if CAPABILITIES[model].forked else 0)
+            assert m.steps == expected, model
 
     def test_broadcast_costs(self):
         e = Machine("erew")

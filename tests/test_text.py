@@ -1,0 +1,103 @@
+"""CSV / field splitting: Python ``split`` semantics on segmented scans.
+
+``split_fields`` must match ``bytes.split(delim)`` exactly — empty fields,
+leading/trailing delimiters, delimiter-only inputs and all — and
+``parse_csv`` the two-level row/field split.  Hypothesis drives the
+equivalence over delimiter-dense random byte strings on three engines.
+"""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Machine
+from repro.algorithms import parse_csv, split_fields
+
+BACKENDS = ["numpy", "blocked:7", "reference"]
+
+# heavy on delimiters so empty/adjacent fields are common
+_CSV_ALPHABET = b"ab,\n,"
+
+
+class TestSplitFields:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @settings(max_examples=50, deadline=None)
+    @given(text=st.lists(st.sampled_from(list(b"xy,,")),
+                         max_size=60).map(bytes))
+    def test_matches_python_split(self, backend, text):
+        m = Machine("scan", backend=backend)
+        result = split_fields(m, text)
+        assert result.fields() == text.split(b",")
+        assert result.n_fields == len(text.split(b","))
+
+    @pytest.mark.parametrize("text,expected", [
+        (b"", [b""]),
+        (b",", [b"", b""]),
+        (b",,,", [b"", b"", b"", b""]),
+        (b"abc", [b"abc"]),
+        (b"a,bb,,ccc,", [b"a", b"bb", b"", b"ccc", b""]),
+        (b",lead", [b"", b"lead"]),
+    ])
+    def test_edges(self, text, expected):
+        result = split_fields(Machine("scan"), text)
+        assert result.fields() == expected
+
+    def test_lengths_include_empty_fields(self):
+        result = split_fields(Machine("scan"), b"a,,bb")
+        assert result.lengths.to_list() == [1, 0, 2]
+
+    def test_custom_delimiter_and_str_input(self):
+        result = split_fields(Machine("scan"), "a|b||c", delimiter="|")
+        assert result.fields() == [b"a", b"b", b"", b"c"]
+
+    def test_utf8_bytes_survive(self):
+        text = "café,naïve".encode("utf-8")
+        result = split_fields(Machine("scan"), text)
+        assert [f.decode("utf-8") for f in result.fields()] == \
+            ["café", "naïve"]
+
+    def test_multibyte_delimiter_rejected(self):
+        with pytest.raises(ValueError, match="one byte"):
+            split_fields(Machine("scan"), b"a::b", delimiter="::")
+
+
+class TestParseCsv:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @settings(max_examples=50, deadline=None)
+    @given(text=st.lists(st.sampled_from(list(_CSV_ALPHABET)),
+                         max_size=80).map(bytes))
+    def test_matches_nested_python_split(self, backend, text):
+        m = Machine("scan", backend=backend)
+        result = parse_csv(m, text)
+        expected = [row.split(b",") for row in text.split(b"\n")]
+        assert result.rows() == expected
+        assert result.n_rows == len(expected)
+
+    def test_empty_text_is_one_empty_field(self):
+        result = parse_csv(Machine("scan"), b"")
+        assert result.rows() == [[b""]]
+
+    def test_ragged_rows(self):
+        result = parse_csv(Machine("scan"), b"a,b,c\nd\n,e,")
+        assert result.rows() == [[b"a", b"b", b"c"], [b"d"],
+                                 [b"", b"e", b""]]
+        assert result.fields_per_row.to_list() == [3, 1, 3]
+
+    def test_charges_are_backend_independent(self):
+        text = b"a,bb\nccc,,d\n"
+        charges = []
+        for backend in BACKENDS:
+            m = Machine("scan", backend=backend)
+            parse_csv(m, text)
+            charges.append(dict(m.counter.by_kind))
+        assert charges[0] == charges[1] == charges[2]
+
+    def test_runs_on_every_model(self):
+        from repro.machine import MODEL_NAMES
+
+        text = b"x,,y\nz"
+        expected = [[b"x", b"", b"y"], [b"z"]]
+        for model in MODEL_NAMES:
+            m = Machine(model)
+            assert parse_csv(m, text).rows() == expected, model
+            assert m.fork_counters.reconciles()
